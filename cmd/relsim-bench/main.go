@@ -1,0 +1,68 @@
+// Command relsim-bench regenerates every table and figure of the
+// paper's evaluation section (§7) and prints them in the paper's layout.
+//
+// Usage:
+//
+//	relsim-bench -table 1        # Table 1 (robustness, Kendall tau)
+//	relsim-bench -table 2        # Table 2 (information-modifying transforms)
+//	relsim-bench -table 3        # Table 3 (MRR over BioMed)
+//	relsim-bench -table 4        # Table 4 (query processing time)
+//	relsim-bench -figure 5       # Figure 5 (Algorithm-1 scalability)
+//	relsim-bench -ablation       # extra: §6 optimizations on vs off
+//	relsim-bench -all            # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"relsim/internal/exp"
+)
+
+func main() {
+	table := flag.Int("table", 0, "reproduce table 1-4")
+	figure := flag.Int("figure", 0, "reproduce figure 5")
+	ablation := flag.Bool("ablation", false, "run the §6 optimization ablation")
+	extra := flag.Bool("extra", false, "run the supplementary experiments (extra baselines, Proposition 5)")
+	all := flag.Bool("all", false, "run every experiment")
+	flag.Parse()
+
+	ran := false
+	run := func(name string, fn func() fmt.Stringer) {
+		ran = true
+		start := time.Now()
+		fmt.Printf("== %s ==\n", name)
+		fmt.Println(fn())
+		fmt.Printf("(%s elapsed)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	if *all || *table == 1 {
+		run("Table 1", func() fmt.Stringer { return exp.Table1() })
+	}
+	if *all || *table == 2 {
+		run("Table 2", func() fmt.Stringer { return exp.Table2() })
+	}
+	if *all || *table == 3 {
+		run("Table 3", func() fmt.Stringer { return exp.Table3() })
+	}
+	if *all || *table == 4 {
+		run("Table 4", func() fmt.Stringer { return exp.Table4() })
+	}
+	if *all || *figure == 5 {
+		run("Figure 5", func() fmt.Stringer { return exp.Figure5(exp.Figure5Config{}) })
+	}
+	if *all || *ablation {
+		run("Ablation", func() fmt.Stringer { return exp.AblationOptimizations(10, nil, 0, 31) })
+	}
+	if *all || *extra {
+		run("Extra baselines", func() fmt.Stringer { return exp.ExtraBaselines() })
+		run("Proposition 5", func() fmt.Stringer { return exp.Proposition5() })
+		run("MAS effectiveness", func() fmt.Stringer { return exp.MASEffectiveness() })
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

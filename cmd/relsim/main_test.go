@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGenTransformQueryStats(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "dblp.jsonl")
+	dst := filepath.Join(dir, "sigm.jsonl")
+
+	if err := runGen([]string{"-dataset", "dblp-small", "-out", src}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if fi, err := os.Stat(src); err != nil || fi.Size() == 0 {
+		t.Fatalf("gen produced no file: %v", err)
+	}
+	if err := runTransform([]string{"-in", src, "-t", "dblp2sigm", "-out", dst}); err != nil {
+		t.Fatalf("transform: %v", err)
+	}
+	if err := runStats([]string{"-in", dst}); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	for _, alg := range []string{"search", "relsim", "pathsim", "hetesim"} {
+		err := runQuery([]string{
+			"-in", dst, "-schema", "dblp", "-pattern", "r-a.r-a-",
+			"-query", "proc3", "-type", "proc", "-alg", alg, "-top", "3",
+		})
+		if err != nil {
+			t.Fatalf("query alg=%s: %v", alg, err)
+		}
+	}
+	// Pattern-free algorithms.
+	if err := runQuery([]string{"-in", dst, "-query", "proc3", "-type", "proc", "-alg", "rwr"}); err != nil {
+		t.Fatalf("query rwr: %v", err)
+	}
+}
+
+func TestGenAllDatasets(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"dblp-small", "wsu", "biomed-small", "mas"} {
+		out := filepath.Join(dir, name+".jsonl")
+		if err := runGen([]string{"-dataset", name, "-out", out}); err != nil {
+			t.Errorf("gen %s: %v", name, err)
+		}
+	}
+	if err := runGen([]string{"-dataset", "nope", "-out", filepath.Join(dir, "x")}); err == nil {
+		t.Error("unknown dataset must fail")
+	}
+	if err := runGen([]string{"-dataset", "wsu"}); err == nil {
+		t.Error("missing -out must fail")
+	}
+}
+
+func TestTransformErrors(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "wsu.jsonl")
+	if err := runGen([]string{"-dataset", "wsu", "-out", src}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runTransform([]string{"-in", src, "-t", "nope", "-out", filepath.Join(dir, "o")}); err == nil {
+		t.Error("unknown transformation must fail")
+	}
+	if err := runTransform([]string{"-in", src, "-t", "wsuc2alch"}); err == nil {
+		t.Error("missing -out must fail")
+	}
+	if err := runTransform([]string{"-in", filepath.Join(dir, "missing"), "-t", "wsuc2alch", "-out", filepath.Join(dir, "o")}); err == nil {
+		t.Error("missing input must fail")
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "wsu.jsonl")
+	if err := runGen([]string{"-dataset", "wsu", "-out", src}); err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]string{
+		{"-in", src, "-query", "zzz", "-pattern", "co"},                     // unknown node
+		{"-in", src, "-query", "course0", "-alg", "pathsim"},                // pattern required
+		{"-in", src, "-query", "course0", "-pattern", "((("},                // bad pattern
+		{"-in", src, "-query", "course0", "-pattern", "co", "-alg", "nope"}, // bad alg
+	}
+	for i, args := range cases {
+		if err := runQuery(args); err == nil {
+			t.Errorf("case %d: query succeeded, want error", i)
+		}
+	}
+}
+
+func TestStatsErrors(t *testing.T) {
+	if err := runStats([]string{"-in", "/nonexistent/file"}); err == nil {
+		t.Error("missing file must fail")
+	}
+	if err := runStats(nil); err == nil {
+		t.Error("missing -in must fail")
+	}
+}

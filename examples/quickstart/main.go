@@ -1,0 +1,133 @@
+// Quickstart: the paper's Figure 1 example end to end.
+//
+// We build the two bibliographic fragments of Figure 1 — the DBLP style
+// (papers directly connected to research areas) and the SIGMOD Record
+// style (areas connected to conferences instead) — which represent the
+// same information. PathSim with the obvious meta-path disagrees across
+// the two representations; RelSim with RRE patterns returns the same
+// ranking on both.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"relsim"
+)
+
+// figure1a builds the DBLP-style fragment: paper -area→ research area,
+// paper -pub-in→ conference.
+func figure1a() (*relsim.Graph, map[string]relsim.NodeID) {
+	g := relsim.NewGraph()
+	n := map[string]relsim.NodeID{}
+	for _, spec := range []struct{ name, typ string }{
+		{"Software Engineering", "area"},
+		{"Data Mining", "area"},
+		{"Databases", "area"},
+		{"Code Mining", "paper"},
+		{"Pattern Mining", "paper"},
+		{"Similarity Mining", "paper"},
+		{"SIGKDD", "proc"},
+		{"VLDB", "proc"},
+	} {
+		n[spec.name] = g.AddNode(spec.name, spec.typ)
+	}
+	for _, e := range []struct{ f, l, t string }{
+		{"Code Mining", "area", "Software Engineering"},
+		{"Code Mining", "area", "Data Mining"},
+		{"Pattern Mining", "area", "Data Mining"},
+		{"Pattern Mining", "area", "Databases"},
+		{"Similarity Mining", "area", "Data Mining"},
+		{"Similarity Mining", "area", "Databases"},
+		{"Code Mining", "pub-in", "SIGKDD"},
+		{"Pattern Mining", "pub-in", "VLDB"},
+		{"Similarity Mining", "pub-in", "VLDB"},
+	} {
+		g.AddEdge(n[e.f], e.l, n[e.t])
+	}
+	return g, n
+}
+
+// figure1b builds the SIGMOD-Record-style fragment of the same
+// information: conference -field→ research area, paper -pub-in→
+// conference. Every paper's research areas are recoverable through its
+// conference's fields, which is what makes the two fragments
+// information-equivalent (Example 2 of the paper).
+func figure1b() (*relsim.Graph, map[string]relsim.NodeID) {
+	g := relsim.NewGraph()
+	n := map[string]relsim.NodeID{}
+	for _, spec := range []struct{ name, typ string }{
+		{"Software Engineering", "area"},
+		{"Data Mining", "area"},
+		{"Databases", "area"},
+		{"Code Mining", "paper"},
+		{"Pattern Mining", "paper"},
+		{"Similarity Mining", "paper"},
+		{"SIGKDD", "proc"},
+		{"VLDB", "proc"},
+	} {
+		n[spec.name] = g.AddNode(spec.name, spec.typ)
+	}
+	for _, e := range []struct{ f, l, t string }{
+		{"SIGKDD", "field", "Software Engineering"},
+		{"SIGKDD", "field", "Data Mining"},
+		{"VLDB", "field", "Data Mining"},
+		{"VLDB", "field", "Databases"},
+		{"Code Mining", "pub-in", "SIGKDD"},
+		{"Pattern Mining", "pub-in", "VLDB"},
+		{"Similarity Mining", "pub-in", "VLDB"},
+	} {
+		g.AddEdge(n[e.f], e.l, n[e.t])
+	}
+	return g, n
+}
+
+func show(title string, g *relsim.Graph, r relsim.Ranking) {
+	fmt.Println(title)
+	if r.Len() == 0 {
+		fmt.Println("   (no answers)")
+	}
+	for i := 0; i < r.Len(); i++ {
+		fmt.Printf("  %d. %-22s %.4f\n", i+1, g.Node(r.IDs[i]).Name, r.Scores[i])
+	}
+}
+
+func main() {
+	ga, na := figure1a()
+	gb, nb := figure1b()
+	engA := relsim.NewEngine(ga, nil)
+	engB := relsim.NewEngine(gb, nil)
+	areasA := ga.NodesOfType("area")
+	areasB := gb.NodesOfType("area")
+
+	fmt.Println("Which research area is most similar to Data Mining?")
+	fmt.Println()
+
+	// A PathSim user picks the natural meta-path on each representation.
+	pA := relsim.MustParsePattern("area-.pub-in.pub-in-.area")
+	rA, err := engA.PathSim(pA, na["Data Mining"], areasA)
+	if err != nil {
+		panic(err)
+	}
+	show("PathSim on Figure 1(a) with area-.pub-in.pub-in-.area:", ga, rA)
+
+	pB := relsim.MustParsePattern("field-.field")
+	rB, err := engB.PathSim(pB, nb["Data Mining"], areasB)
+	if err != nil {
+		panic(err)
+	}
+	show("PathSim on Figure 1(b) with field-.field:", gb, rB)
+	fmt.Println("→ same information, different answers: Databases and Software")
+	fmt.Println("  Engineering tie on 1(b) although 1(a) clearly prefers Databases.")
+	fmt.Println()
+
+	// RelSim expresses the equivalent relationship on 1(b) with the RRE
+	// nested operator: shared conferences weighted by their publications
+	// (the paper's p4).
+	p4 := relsim.MustParsePattern("field-.[pub-in-].[pub-in-].field")
+	r4 := engB.RelSim(p4, nb["Data Mining"], areasB)
+	show("RelSim on Figure 1(b) with field-.[pub-in-].[pub-in-].field:", gb, r4)
+	fmt.Println("→ the nested pattern recovers the 1(a) ranking: structural")
+	fmt.Println("  robustness via the RRE language (paper §4.2).")
+}

@@ -1,0 +1,192 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"relsim/internal/graph"
+	"relsim/internal/mapping"
+	"relsim/internal/schema"
+)
+
+// DBLP edge labels (Figure 2(a)): w = writes (author→paper),
+// p-in = published-in (paper→proceedings), r-a = research-area
+// (paper→area).
+const (
+	LabelWrites  = "w"
+	LabelPubIn   = "p-in"
+	LabelRscArea = "r-a"
+	// LabelAuthorProc labels the two edges of the author↔proceedings
+	// connector nodes added by DBLP2SIGMX.
+	LabelAPAuthor = "ap-a"
+	LabelAPProc   = "ap-c"
+)
+
+// DBLPConfig sizes the synthetic DBLP instance.
+type DBLPConfig struct {
+	Seed          int64
+	Areas         int
+	Procs         int
+	PapersPerProc [2]int // inclusive range
+	AuthorsPool   int
+	AuthorsPerPap [2]int // inclusive range
+	AreasPerProc  [2]int // inclusive range
+}
+
+// SmallDBLP mirrors the scale of the paper's "subset of DBLP with 24,396
+// nodes" used where SimRank is too slow on the full data, scaled to
+// laptop budgets.
+func SmallDBLP() DBLPConfig {
+	return DBLPConfig{
+		Seed:          7,
+		Areas:         25,
+		Procs:         80,
+		PapersPerProc: [2]int{8, 25},
+		AuthorsPool:   1200,
+		AuthorsPerPap: [2]int{1, 3},
+		AreasPerProc:  [2]int{1, 3},
+	}
+}
+
+// FullDBLP is the larger instance used by the efficiency experiments.
+func FullDBLP() DBLPConfig {
+	return DBLPConfig{
+		Seed:          7,
+		Areas:         60,
+		Procs:         400,
+		PapersPerProc: [2]int{10, 40},
+		AuthorsPool:   9000,
+		AuthorsPerPap: [2]int{1, 4},
+		AreasPerProc:  [2]int{1, 3},
+	}
+}
+
+// DBLP generates a bibliographic database with the Figure 2(a) schema.
+// The §7.1 constraint
+//
+//	(p1, r-a, a) ∧ (p1, p-in, c) ∧ (p2, p-in, c) → (p2, r-a, a)
+//
+// holds by construction: every proceedings has a fixed area set and each
+// of its papers is connected to exactly that set, which is also what
+// makes DBLP2SIGM invertible (Example 2).
+func DBLP(cfg DBLPConfig) Dataset {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := graph.New()
+
+	areas := make([]graph.NodeID, cfg.Areas)
+	for i := range areas {
+		areas[i] = g.AddNode(fmt.Sprintf("area%d", i), "area")
+	}
+	procs := make([]graph.NodeID, cfg.Procs)
+	procAreas := make([][]int, cfg.Procs)
+	for i := range procs {
+		procs[i] = g.AddNode(fmt.Sprintf("proc%d", i), "proc")
+		procAreas[i] = pick(rng, cfg.Areas, between(rng, cfg.AreasPerProc[0], cfg.AreasPerProc[1]))
+	}
+	authors := make([]graph.NodeID, cfg.AuthorsPool)
+	for i := range authors {
+		authors[i] = g.AddNode(fmt.Sprintf("author%d", i), "author")
+	}
+	paperCount := 0
+	for ci := range procs {
+		n := between(rng, cfg.PapersPerProc[0], cfg.PapersPerProc[1])
+		for k := 0; k < n; k++ {
+			p := g.AddNode(fmt.Sprintf("paper%d", paperCount), "paper")
+			paperCount++
+			g.AddEdge(p, LabelPubIn, procs[ci])
+			for _, ai := range procAreas[ci] {
+				g.AddEdge(p, LabelRscArea, areas[ai])
+			}
+			for _, wi := range pick(rng, cfg.AuthorsPool, between(rng, cfg.AuthorsPerPap[0], cfg.AuthorsPerPap[1])) {
+				g.AddEdge(authors[wi], LabelWrites, p)
+			}
+		}
+	}
+	return Dataset{Name: "DBLP", Graph: g, Schema: DBLPSchema()}
+}
+
+// DBLPSchema returns the Figure 2(a) schema with the §7.1 constraint.
+func DBLPSchema() *schema.Schema {
+	return schema.New(
+		[]string{LabelWrites, LabelPubIn, LabelRscArea},
+		schema.TGD("dblp-area",
+			[]schema.Atom{
+				schema.At("p1", LabelRscArea, "a"),
+				schema.At("p1", LabelPubIn, "c"),
+				schema.At("p2", LabelPubIn, "c"),
+			},
+			"p2", LabelRscArea, "a"),
+	)
+}
+
+// DBLP2SIGM is the §7.1 transformation to the SIGMOD-Record-style
+// structure of Figure 2(b): research areas move from papers to their
+// proceedings.
+func DBLP2SIGM() mapping.Transformation {
+	return mapping.Transformation{
+		Name: "DBLP2SIGM",
+		Rules: append(mapping.Identities(LabelWrites, LabelPubIn),
+			mapping.Rule{
+				Name: "area-to-proc",
+				Premise: []schema.Atom{
+					schema.At("p", LabelPubIn, "c"),
+					schema.At("p", LabelRscArea, "a"),
+				},
+				Conclusion: []mapping.ConclusionAtom{{From: "c", Label: LabelRscArea, To: "a"}},
+			}),
+	}
+}
+
+// DBLP2SIGMInverse reconstructs the DBLP structure from the SIGMOD
+// Record structure (Example 3's inverse, adapted to Figure 2).
+func DBLP2SIGMInverse() mapping.Transformation {
+	return mapping.Transformation{
+		Name: "DBLP2SIGM⁻¹",
+		Rules: append(mapping.Identities(LabelWrites, LabelPubIn),
+			mapping.Rule{
+				Name: "area-to-paper",
+				Premise: []schema.Atom{
+					schema.At("p", LabelPubIn, "c"),
+					schema.At("c", LabelRscArea, "a"),
+				},
+				Conclusion: []mapping.ConclusionAtom{{From: "p", Label: LabelRscArea, To: "a"}},
+			}),
+	}
+}
+
+// DBLP2SIGMX is DBLP2SIGM plus fresh connector nodes linking each author
+// to each proceedings they published in (§7.1's information-adding
+// invertible transformation). Its inverse is DBLP2SIGMInverse — the
+// added nodes are not needed to reconstruct the original data.
+func DBLP2SIGMX() mapping.Transformation {
+	t := DBLP2SIGM()
+	t.Name = "DBLP2SIGMX"
+	t.Rules = append(t.Rules, mapping.Rule{
+		Name: "author-proc-node",
+		Premise: []schema.Atom{
+			schema.At("a", LabelWrites, "p"),
+			schema.At("p", LabelPubIn, "c"),
+		},
+		Conclusion: []mapping.ConclusionAtom{
+			{From: "n", Label: LabelAPAuthor, To: "a"},
+			{From: "n", Label: LabelAPProc, To: "c"},
+		},
+	})
+	return t
+}
+
+// DBLPPatterns returns the relationship patterns for the robustness
+// experiments over DBLP, mirroring §7.3's reference patterns:
+//
+//	PatternS:      p-in⁻ · r-a · r-a⁻ · p-in   over Figure 2(a)
+//	                (proceedings similar by shared research areas,
+//	                weighted by their papers)
+//	ClosestSimple: r-a · r-a⁻                  over Figure 2(b)
+//	                (the meta-path a PathSim user would pick after the
+//	                transformation)
+//
+// The RelSim pattern over the transformed schema comes from
+// mapping.RewritePattern and is computed by the caller.
+func DBLPPatterns() (patternS, closestSimpleT string) {
+	return "p-in-.r-a.r-a-.p-in", "r-a.r-a-"
+}

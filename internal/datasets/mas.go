@@ -1,0 +1,138 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"relsim/internal/graph"
+	"relsim/internal/schema"
+)
+
+// MAS edge labels: p-in = paper→conference, c-a = conference→area,
+// p-kw = paper→keyword, a-kw = area→keyword.
+const (
+	LabelMASPubIn    = "p-in"
+	LabelMASConfArea = "c-a"
+	LabelMASPaperKw  = "p-kw"
+	LabelMASAreaKw   = "a-kw"
+)
+
+// MASConfig sizes the synthetic Microsoft-Academic-Search-style dataset
+// (§7: papers, conferences, areas, and keywords of each paper and area).
+type MASConfig struct {
+	Seed      int64
+	Areas     int
+	Confs     int
+	Papers    int
+	Keywords  int
+	KwPerArea [2]int
+	KwPerPap  [2]int
+	// TwinPairs plants pairs of areas with strongly overlapping keyword
+	// pools; each twin is the ground-truth most-similar area for the
+	// other, giving the MAS effectiveness experiment a recoverable
+	// signal (the paper's §7.2 mentions MAS but prints no numbers).
+	TwinPairs int
+	// TwinOverlap is the number of keywords each twin copies from its
+	// partner (in addition to its own random pool).
+	TwinOverlap int
+}
+
+// DefaultMAS mirrors the shape of the paper's 44k-node MAS subset at
+// laptop scale.
+func DefaultMAS() MASConfig {
+	return MASConfig{
+		Seed:        17,
+		Areas:       30,
+		Confs:       150,
+		Papers:      4000,
+		Keywords:    70,
+		KwPerArea:   [2]int{6, 12},
+		KwPerPap:    [2]int{1, 4},
+		TwinPairs:   8,
+		TwinOverlap: 4,
+	}
+}
+
+// MASData is a MAS dataset plus the twin-area query workload: Queries
+// are area nodes and Relevant maps each to its planted twin.
+type MASData struct {
+	Dataset
+	Queries  []graph.NodeID
+	Relevant []map[graph.NodeID]bool
+}
+
+// MAS generates the bibliographic graph with keywords. Papers inherit a
+// biased keyword distribution from their conference's area, so keyword
+// meta-paths carry a recoverable topical signal; twin areas share part
+// of their keyword pools and form the query workload.
+func MAS(cfg MASConfig) MASData {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := graph.New()
+
+	areas := make([]graph.NodeID, cfg.Areas)
+	areaKw := make([][]int, cfg.Areas)
+	for i := range areas {
+		areas[i] = g.AddNode(fmt.Sprintf("area%d", i), "area")
+		areaKw[i] = pick(rng, cfg.Keywords, between(rng, cfg.KwPerArea[0], cfg.KwPerArea[1]))
+	}
+	// Twin pairs: areas (2i, 2i+1) copy TwinOverlap keywords from each
+	// other.
+	var queries []graph.NodeID
+	var relevant []map[graph.NodeID]bool
+	for p := 0; p < cfg.TwinPairs && 2*p+1 < cfg.Areas; p++ {
+		a, b := 2*p, 2*p+1
+		for k := 0; k < cfg.TwinOverlap && k < len(areaKw[a]); k++ {
+			areaKw[b] = appendUnique(areaKw[b], areaKw[a][k])
+		}
+		queries = append(queries, areas[a], areas[b])
+		relevant = append(relevant,
+			map[graph.NodeID]bool{areas[b]: true},
+			map[graph.NodeID]bool{areas[a]: true})
+	}
+	kws := make([]graph.NodeID, cfg.Keywords)
+	for i := range kws {
+		kws[i] = g.AddNode(fmt.Sprintf("kw%d", i), "keyword")
+	}
+	for i := range areas {
+		for _, k := range areaKw[i] {
+			g.AddEdge(areas[i], LabelMASAreaKw, kws[k])
+		}
+	}
+	confs := make([]graph.NodeID, cfg.Confs)
+	confArea := make([]int, cfg.Confs)
+	for i := range confs {
+		confs[i] = g.AddNode(fmt.Sprintf("conf%d", i), "conf")
+		confArea[i] = rng.Intn(cfg.Areas)
+		g.AddEdge(confs[i], LabelMASConfArea, areas[confArea[i]])
+	}
+	for i := 0; i < cfg.Papers; i++ {
+		p := g.AddNode(fmt.Sprintf("paper%d", i), "paper")
+		ci := rng.Intn(cfg.Confs)
+		g.AddEdge(p, LabelMASPubIn, confs[ci])
+		n := between(rng, cfg.KwPerPap[0], cfg.KwPerPap[1])
+		ak := areaKw[confArea[ci]]
+		for k := 0; k < n; k++ {
+			// 70% of paper keywords come from the conference area's pool.
+			if rng.Float64() < 0.7 && len(ak) > 0 {
+				g.AddEdge(p, LabelMASPaperKw, kws[ak[rng.Intn(len(ak))]])
+			} else {
+				g.AddEdge(p, LabelMASPaperKw, kws[rng.Intn(cfg.Keywords)])
+			}
+		}
+	}
+	s := schema.New([]string{LabelMASPubIn, LabelMASConfArea, LabelMASPaperKw, LabelMASAreaKw})
+	return MASData{
+		Dataset:  Dataset{Name: "MAS", Graph: g, Schema: s},
+		Queries:  queries,
+		Relevant: relevant,
+	}
+}
+
+func appendUnique(xs []int, x int) []int {
+	for _, v := range xs {
+		if v == x {
+			return xs
+		}
+	}
+	return append(xs, x)
+}

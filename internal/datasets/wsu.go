@@ -1,0 +1,135 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"relsim/internal/graph"
+	"relsim/internal/mapping"
+	"relsim/internal/schema"
+)
+
+// WSU course dataset edge labels (Figure 3(a)): co = offering-course
+// (offer→course), os = offering-subject (offer→subject), t = teach
+// (instructor→offer). The Alchemy UW-CSE style target (Figure 3(b))
+// replaces os with cs = course-subject (course→subject).
+const (
+	LabelOfferCourse  = "co"
+	LabelOfferSubject = "os"
+	LabelTeach        = "t"
+	LabelCourseSubj   = "cs"
+)
+
+// WSUConfig sizes the synthetic course database.
+type WSUConfig struct {
+	Seed            int64
+	Subjects        int
+	Courses         int
+	OffersPerCourse [2]int
+	Instructors     int
+	SubjPerCourse   [2]int
+}
+
+// DefaultWSU matches the scale of the real WSU dataset (1,124 nodes,
+// 1,959 edges).
+func DefaultWSU() WSUConfig {
+	return WSUConfig{
+		Seed:            11,
+		Subjects:        40,
+		Courses:         320,
+		OffersPerCourse: [2]int{1, 4},
+		Instructors:     160,
+		SubjPerCourse:   [2]int{1, 2},
+	}
+}
+
+// WSU generates a course database with the Figure 3(a) schema. The §7.1
+// constraint
+//
+//	(o1, os, s) ∧ (o1, co, c) ∧ (o2, co, c) → (o2, os, s)
+//
+// holds by construction: each course has a fixed subject set shared by
+// all of its offerings, which makes WSUC2ALCH invertible.
+func WSU(cfg WSUConfig) Dataset {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := graph.New()
+
+	subjects := make([]graph.NodeID, cfg.Subjects)
+	for i := range subjects {
+		subjects[i] = g.AddNode(fmt.Sprintf("subject%d", i), "subject")
+	}
+	instructors := make([]graph.NodeID, cfg.Instructors)
+	for i := range instructors {
+		instructors[i] = g.AddNode(fmt.Sprintf("instructor%d", i), "instructor")
+	}
+	offerCount := 0
+	for ci := 0; ci < cfg.Courses; ci++ {
+		c := g.AddNode(fmt.Sprintf("course%d", ci), "course")
+		subjIdx := pick(rng, cfg.Subjects, between(rng, cfg.SubjPerCourse[0], cfg.SubjPerCourse[1]))
+		n := between(rng, cfg.OffersPerCourse[0], cfg.OffersPerCourse[1])
+		for k := 0; k < n; k++ {
+			o := g.AddNode(fmt.Sprintf("offer%d", offerCount), "offer")
+			offerCount++
+			g.AddEdge(o, LabelOfferCourse, c)
+			for _, si := range subjIdx {
+				g.AddEdge(o, LabelOfferSubject, subjects[si])
+			}
+			g.AddEdge(instructors[rng.Intn(cfg.Instructors)], LabelTeach, o)
+		}
+	}
+	return Dataset{Name: "WSU", Graph: g, Schema: WSUSchema()}
+}
+
+// WSUSchema returns the Figure 3(a) schema with the §7.1 constraint.
+func WSUSchema() *schema.Schema {
+	return schema.New(
+		[]string{LabelOfferCourse, LabelOfferSubject, LabelTeach},
+		schema.TGD("wsu-subject",
+			[]schema.Atom{
+				schema.At("o1", LabelOfferSubject, "s"),
+				schema.At("o1", LabelOfferCourse, "c"),
+				schema.At("o2", LabelOfferCourse, "c"),
+			},
+			"o2", LabelOfferSubject, "s"),
+	)
+}
+
+// WSUC2ALCH transforms the WSU structure into the Alchemy UW-CSE style
+// structure of Figure 3(b): subjects move from offerings to courses.
+func WSUC2ALCH() mapping.Transformation {
+	return mapping.Transformation{
+		Name: "WSUC2ALCH",
+		Rules: append(mapping.Identities(LabelOfferCourse, LabelTeach),
+			mapping.Rule{
+				Name: "subject-to-course",
+				Premise: []schema.Atom{
+					schema.At("o", LabelOfferCourse, "c"),
+					schema.At("o", LabelOfferSubject, "s"),
+				},
+				Conclusion: []mapping.ConclusionAtom{{From: "c", Label: LabelCourseSubj, To: "s"}},
+			}),
+	}
+}
+
+// WSUC2ALCHInverse reconstructs the WSU structure.
+func WSUC2ALCHInverse() mapping.Transformation {
+	return mapping.Transformation{
+		Name: "WSUC2ALCH⁻¹",
+		Rules: append(mapping.Identities(LabelOfferCourse, LabelTeach),
+			mapping.Rule{
+				Name: "subject-to-offer",
+				Premise: []schema.Atom{
+					schema.At("o", LabelOfferCourse, "c"),
+					schema.At("c", LabelCourseSubj, "s"),
+				},
+				Conclusion: []mapping.ConclusionAtom{{From: "o", Label: LabelOfferSubject, To: "s"}},
+			}),
+	}
+}
+
+// WSUPatterns returns the robustness-experiment patterns for WSU:
+// courses similar by shared subjects (weighted by offerings) over
+// Figure 3(a), and the closest simple meta-path over Figure 3(b).
+func WSUPatterns() (patternS, closestSimpleT string) {
+	return "co-.os.os-.co", "cs.cs-"
+}

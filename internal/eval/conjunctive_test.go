@@ -1,0 +1,153 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"relsim/internal/graph"
+	"relsim/internal/rre"
+)
+
+func conjChain(paths ...string) ConjunctivePattern {
+	c := ConjunctivePattern{From: vname(0), To: vname(len(paths))}
+	for i, p := range paths {
+		c.Atoms = append(c.Atoms, ConjAtom{From: vname(i), Path: rre.MustParse(p), To: vname(i + 1)})
+	}
+	return c
+}
+
+func vname(i int) string {
+	return string(rune('a' + i))
+}
+
+func TestConjunctiveChainMatchesConcat(t *testing.T) {
+	// A pure chain of conjuncts must count exactly like the
+	// concatenation (Proposition 3(3) through the conjunctive encoding).
+	labels := []string{"a", "b"}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(4)
+		g := randomGraph(rng, n, rng.Intn(8), labels)
+		ev := New(g)
+		c := conjChain("a", "b")
+		c.From, c.To = c.Atoms[0].From, c.Atoms[1].To
+		p := rre.MustParse("a.b")
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				got, err := ev.ConjunctiveCount(c, graph.NodeID(u), graph.NodeID(v))
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := ev.CountInstances(p, graph.NodeID(u), graph.NodeID(v))
+				if got != want {
+					t.Fatalf("trial %d: conjunctive chain (%d,%d) = %d, concat = %d", trial, u, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestConjunctiveCycle exercises the §4.2 cyclic example: the premise
+// (x1,a,x2) ∧ (x2,b,x3) ∧ (x1,d,x3) has a cycle, so the x1→x3
+// relationship needs the conjunctive language — both the two-step path
+// and the direct d edge must hold.
+func TestConjunctiveCycle(t *testing.T) {
+	g := graph.New()
+	x1 := g.AddNode("x1", "")
+	x2 := g.AddNode("x2", "")
+	x3 := g.AddNode("x3", "")
+	x4 := g.AddNode("x4", "")
+	g.AddEdge(x1, "a", x2)
+	g.AddEdge(x2, "b", x3)
+	g.AddEdge(x1, "d", x3)
+	// x4 is reachable via a·b but lacks the d edge.
+	g.AddEdge(x2, "b", x4)
+
+	ev := New(g)
+	c := ConjunctivePattern{
+		From: "x1", To: "x3",
+		Atoms: []ConjAtom{
+			{From: "x1", Path: rre.MustParse("a"), To: "x2"},
+			{From: "x2", Path: rre.MustParse("b"), To: "x3"},
+			{From: "x1", Path: rre.MustParse("d"), To: "x3"},
+		},
+	}
+	if got, _ := ev.ConjunctiveCount(c, x1, x3); got != 1 {
+		t.Errorf("count(x1,x3) = %d, want 1", got)
+	}
+	// x4 satisfies the path but not the d conjunct.
+	if got, _ := ev.ConjunctiveCount(c, x1, x4); got != 0 {
+		t.Errorf("count(x1,x4) = %d, want 0 (no d edge)", got)
+	}
+	// A single RRE cannot make this distinction: a·b alone counts x4.
+	if ev.CountInstances(rre.MustParse("a.b"), x1, x4) == 0 {
+		t.Error("sanity: a·b should reach x4")
+	}
+}
+
+func TestConjunctiveSelfLoopAtom(t *testing.T) {
+	g := graph.New()
+	u := g.AddNode("u", "")
+	v := g.AddNode("v", "")
+	g.AddEdge(u, "l", u)
+	g.AddEdge(u, "m", v)
+	ev := New(g)
+	// x has an l self-loop and an m edge to y.
+	c := ConjunctivePattern{
+		From: "x", To: "y",
+		Atoms: []ConjAtom{
+			{From: "x", Path: rre.MustParse("l"), To: "x"},
+			{From: "x", Path: rre.MustParse("m"), To: "y"},
+		},
+	}
+	if got, _ := ev.ConjunctiveCount(c, u, v); got != 1 {
+		t.Errorf("count(u,v) = %d, want 1", got)
+	}
+	if got, _ := ev.ConjunctiveCount(c, v, u); got != 0 {
+		t.Errorf("count(v,u) = %d, want 0", got)
+	}
+}
+
+func TestConjunctiveValidate(t *testing.T) {
+	bad := []ConjunctivePattern{
+		{From: "x", To: "y"}, // no atoms
+		{From: "x", To: "zz", Atoms: []ConjAtom{{From: "x", Path: rre.MustParse("a"), To: "y"}}},
+		{From: "x", To: "y", Atoms: []ConjAtom{{From: "x", To: "y"}}}, // nil path
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %v", i, c)
+		}
+		if _, err := New(graph.New()).ConjunctiveCount(c, 0, 0); err == nil {
+			t.Errorf("case %d: ConjunctiveCount accepted invalid pattern", i)
+		}
+	}
+}
+
+func TestConjunctivePathSim(t *testing.T) {
+	g, names := paperGraph()
+	ev := New(g)
+	// Equivalent of area-.area through the conjunctive encoding.
+	c := ConjunctivePattern{
+		From: "a1", To: "a2",
+		Atoms: []ConjAtom{
+			{From: "p", Path: rre.MustParse("area"), To: "a1"},
+			{From: "p", Path: rre.MustParse("area"), To: "a2"},
+		},
+	}
+	got, err := ev.ConjunctivePathSim(c, names["DM"], names["DB"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := PathSimScore(ev.Commuting(rre.MustParse("area-.area")), names["DM"], names["DB"])
+	if got != want {
+		t.Errorf("conjunctive PathSim = %v, direct = %v", got, want)
+	}
+}
+
+func TestConjunctiveString(t *testing.T) {
+	c := conjChain("a")
+	if c.String() == "" || len(c.Vars()) != 2 {
+		t.Errorf("String/Vars broken: %q %v", c.String(), c.Vars())
+	}
+}

@@ -1,0 +1,263 @@
+// Package eval computes RRE pattern instances over a graph database.
+//
+// The primary entry point is Evaluator.Commuting, which materializes the
+// commuting matrix M_p of a pattern p following the matrix rules of
+// paper §4.3:
+//
+//	M_a        = A_a
+//	M_{p⁻}     = M_pᵀ
+//	M_{p1·p2}  = M_{p1} M_{p2}
+//	M_{p1+p2}  = M_{p1} + M_{p2}     (p1 ≠ p2; Alt dedupes equal branches)
+//	M_{⌈⌈p⌋⌋}  = M_p > 0
+//	M_{[p]}    = diag{ M_p (M_pᵀ > 0) }
+//
+// Entry (u, v) of M_p is |I^{u,v}(p)|, the number of instances of p from
+// u to v. Kleene star, whose instance set the paper defines as the union
+// I(ε) ∪ I(p) ∪ I(p²) ∪ …, is materialized as the boolean
+// reflexive-transitive closure of M_p: its instance count is capped at 1
+// (existence), since the raw count is unbounded on cyclic data.
+//
+// CountInstances is a direct recursive counter over the graph with the
+// same semantics; it exists as an executable specification that the
+// matrix algebra is property-tested against.
+package eval
+
+import (
+	"sync"
+
+	"relsim/internal/graph"
+	"relsim/internal/rre"
+	"relsim/internal/sparse"
+)
+
+// Evaluator evaluates RRE patterns over a fixed graph, caching commuting
+// matrices by the canonical string form of the pattern. It is safe for
+// concurrent use.
+type Evaluator struct {
+	g *graph.Graph
+
+	mu         sync.Mutex
+	cache      map[string]*sparse.Matrix
+	noPlanning bool
+}
+
+// New returns an evaluator over g. The graph must not be mutated while
+// the evaluator is in use (cached matrices would go stale).
+func New(g *graph.Graph) *Evaluator {
+	return &Evaluator{g: g, cache: make(map[string]*sparse.Matrix)}
+}
+
+// Graph returns the underlying graph.
+func (e *Evaluator) Graph() *graph.Graph { return e.g }
+
+// CacheSize returns the number of materialized commuting matrices.
+func (e *Evaluator) CacheSize() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.cache)
+}
+
+// Materialize precomputes and caches the commuting matrices of the given
+// patterns. Table 4 of the paper assumes all meta-paths up to length 3
+// are materialized; the experiment harness calls this with that set.
+func (e *Evaluator) Materialize(ps ...*rre.Pattern) {
+	for _, p := range ps {
+		e.Commuting(p)
+	}
+}
+
+// Commuting returns the commuting matrix M_p. Results are cached per
+// canonical pattern string, including all sub-pattern matrices.
+func (e *Evaluator) Commuting(p *rre.Pattern) *sparse.Matrix {
+	key := p.String()
+	e.mu.Lock()
+	if m, ok := e.cache[key]; ok {
+		e.mu.Unlock()
+		return m
+	}
+	e.mu.Unlock()
+
+	m := e.compute(p)
+
+	e.mu.Lock()
+	e.cache[key] = m
+	e.mu.Unlock()
+	return m
+}
+
+func (e *Evaluator) compute(p *rre.Pattern) *sparse.Matrix {
+	n := e.g.NumNodes()
+	switch p.Kind() {
+	case rre.KindEps:
+		return sparse.Identity(n)
+	case rre.KindLabel:
+		return e.g.Adjacency(p.LabelName())
+	case rre.KindRev:
+		return e.Commuting(p.Subs()[0]).Transpose()
+	case rre.KindConcat:
+		factors := make([]*sparse.Matrix, len(p.Subs()))
+		for i, s := range p.Subs() {
+			factors[i] = e.Commuting(s)
+		}
+		e.mu.Lock()
+		planned := !e.noPlanning
+		e.mu.Unlock()
+		if !planned {
+			m := factors[0]
+			for _, f := range factors[1:] {
+				m = m.Mul(f)
+			}
+			return m
+		}
+		return mulChain(factors)
+	case rre.KindAlt:
+		m := e.Commuting(p.Subs()[0])
+		for _, s := range p.Subs()[1:] {
+			m = m.Add(e.Commuting(s))
+		}
+		return m
+	case rre.KindStar:
+		return e.Commuting(p.Subs()[0]).BooleanClosure()
+	case rre.KindSkip:
+		return e.Commuting(p.Subs()[0]).Boolean()
+	case rre.KindNest:
+		return e.Commuting(p.Subs()[0]).DiagMulBool()
+	}
+	panic("eval: invalid pattern kind")
+}
+
+// CountInstances returns |I^{u,v}(p)| by direct recursion over the graph,
+// without materializing matrices. This is the reference implementation of
+// the paper's instance semantics (§4.2) used to validate Commuting.
+func (e *Evaluator) CountInstances(p *rre.Pattern, u, v graph.NodeID) int64 {
+	return e.count(p, u, v)
+}
+
+func (e *Evaluator) count(p *rre.Pattern, u, v graph.NodeID) int64 {
+	g := e.g
+	switch p.Kind() {
+	case rre.KindEps:
+		if u == v {
+			return 1
+		}
+		return 0
+	case rre.KindLabel:
+		return int64(g.EdgeCount(u, p.LabelName(), v))
+	case rre.KindRev:
+		return e.count(p.Subs()[0], v, u)
+	case rre.KindConcat:
+		subs := p.Subs()
+		head, tail := subs[0], rre.Concat(subs[1:]...)
+		var total int64
+		for w := graph.NodeID(0); int(w) < g.NumNodes(); w++ {
+			c1 := e.count(head, u, w)
+			if c1 == 0 {
+				continue
+			}
+			total += c1 * e.count(tail, w, v)
+		}
+		return total
+	case rre.KindAlt:
+		var total int64
+		for _, s := range p.Subs() {
+			total += e.count(s, u, v)
+		}
+		return total
+	case rre.KindStar:
+		if e.reachable(p.Subs()[0], u, v) {
+			return 1
+		}
+		return 0
+	case rre.KindSkip:
+		if e.exists(p.Subs()[0], u, v) {
+			return 1
+		}
+		return 0
+	case rre.KindNest:
+		if u != v {
+			return 0
+		}
+		var total int64
+		for w := graph.NodeID(0); int(w) < g.NumNodes(); w++ {
+			total += e.count(p.Subs()[0], u, w)
+		}
+		return total
+	}
+	panic("eval: invalid pattern kind")
+}
+
+// exists reports whether any instance of p goes from u to v.
+func (e *Evaluator) exists(p *rre.Pattern, u, v graph.NodeID) bool {
+	return e.count(p, u, v) > 0
+}
+
+// reachable reports whether v is reachable from u by zero or more p-steps.
+func (e *Evaluator) reachable(p *rre.Pattern, u, v graph.NodeID) bool {
+	if u == v {
+		return true
+	}
+	n := e.g.NumNodes()
+	seen := make([]bool, n)
+	seen[u] = true
+	frontier := []graph.NodeID{u}
+	for len(frontier) > 0 {
+		var next []graph.NodeID
+		for _, x := range frontier {
+			for y := graph.NodeID(0); int(y) < n; y++ {
+				if seen[y] {
+					continue
+				}
+				if e.exists(p, x, y) {
+					if y == v {
+						return true
+					}
+					seen[y] = true
+					next = append(next, y)
+				}
+			}
+		}
+		frontier = next
+	}
+	return false
+}
+
+// PathSimScore computes Equation 1 of the paper from a commuting matrix:
+//
+//	sim_p(u, v) = 2·M_p(u,v) / (M_p(u,u) + M_p(v,v))
+//
+// It returns 0 when the denominator is zero.
+func PathSimScore(m *sparse.Matrix, u, v graph.NodeID) float64 {
+	den := m.At(int(u), int(u)) + m.At(int(v), int(v))
+	if den == 0 {
+		return 0
+	}
+	return 2 * float64(m.At(int(u), int(v))) / float64(den)
+}
+
+// MetaPathsUpTo enumerates all simple patterns (meta-paths) over the
+// given label set with length in [1, maxLen], each step either forward
+// or reverse. This is the materialization set used by Table 4 ("all
+// meta-paths up to size 3"). The count is (2·|labels|)^len per length,
+// so callers should keep maxLen and the label set small.
+func MetaPathsUpTo(labels []string, maxLen int) []*rre.Pattern {
+	var out []*rre.Pattern
+	steps := make([]rre.Step, 0, maxLen)
+	var gen func(remaining int)
+	gen = func(remaining int) {
+		if len(steps) > 0 {
+			out = append(out, rre.FromSteps(steps))
+		}
+		if remaining == 0 {
+			return
+		}
+		for _, l := range labels {
+			for _, reverse := range []bool{false, true} {
+				steps = append(steps, rre.Step{Label: l, Reverse: reverse})
+				gen(remaining - 1)
+				steps = steps[:len(steps)-1]
+			}
+		}
+	}
+	gen(maxLen)
+	return out
+}

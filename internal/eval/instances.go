@@ -1,0 +1,189 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"relsim/internal/graph"
+	"relsim/internal/rre"
+)
+
+// Instance is one recorded RRE traversal (u, v, s) per the paper's §4.2
+// instance semantics: the sequence alternates node ids with edge labels,
+// pattern strings (for skip steps), or the "↩" marker for the jump back
+// at the end of a nested traversal.
+type Instance struct {
+	From, To graph.NodeID
+	Seq      []string
+}
+
+// String renders the instance sequence, e.g. "0 -a→ 3 -<b.c>→ 5".
+func (in Instance) String() string {
+	return strings.Join(in.Seq, " ")
+}
+
+// Instances enumerates up to limit instances of p from u to v,
+// materializing the recorded traversal sequences. It is the "explain"
+// counterpart of CountInstances: for star-free patterns the number of
+// enumerated instances equals the instance count (Kleene star collapses
+// to a single reachability witness, matching the boolean semantics of
+// Commuting). A non-positive limit enumerates everything.
+func (e *Evaluator) Instances(p *rre.Pattern, u, v graph.NodeID, limit int) []Instance {
+	en := &instanceEnum{e: e, limit: limit}
+	seqs := en.enum(p, u, v)
+	out := make([]Instance, len(seqs))
+	for i, s := range seqs {
+		out[i] = Instance{From: u, To: v, Seq: s}
+	}
+	return out
+}
+
+type instanceEnum struct {
+	e     *Evaluator
+	limit int
+	count int
+}
+
+func (en *instanceEnum) capped() bool {
+	return en.limit > 0 && en.count >= en.limit
+}
+
+func (en *instanceEnum) take(seqs [][]string) [][]string {
+	if en.limit <= 0 {
+		en.count += len(seqs)
+		return seqs
+	}
+	room := en.limit - en.count
+	if room <= 0 {
+		return nil
+	}
+	if len(seqs) > room {
+		seqs = seqs[:room]
+	}
+	en.count += len(seqs)
+	return seqs
+}
+
+func node(id graph.NodeID) string { return fmt.Sprintf("%d", id) }
+
+func (en *instanceEnum) enum(p *rre.Pattern, u, v graph.NodeID) [][]string {
+	if en.capped() {
+		return nil
+	}
+	g := en.e.Graph()
+	switch p.Kind() {
+	case rre.KindEps:
+		if u == v {
+			return en.take([][]string{{node(u)}})
+		}
+		return nil
+	case rre.KindLabel:
+		n := g.EdgeCount(u, p.LabelName(), v)
+		var out [][]string
+		for i := 0; i < n; i++ {
+			out = append(out, []string{node(u), p.LabelName(), node(v)})
+		}
+		return en.take(out)
+	case rre.KindRev:
+		saved := en.count
+		inner := en.enum(p.Subs()[0], v, u)
+		en.count = saved
+		var out [][]string
+		for _, s := range inner {
+			out = append(out, reverseSeq(s))
+		}
+		return en.take(out)
+	case rre.KindConcat:
+		subs := p.Subs()
+		head, tail := subs[0], rre.Concat(subs[1:]...)
+		var out [][]string
+		for w := graph.NodeID(0); int(w) < g.NumNodes(); w++ {
+			if en.limit > 0 && en.count+len(out) >= en.limit {
+				break
+			}
+			// Quick pruning via the commuting matrices.
+			if en.e.Commuting(head).At(int(u), int(w)) == 0 {
+				continue
+			}
+			saved := en.count
+			hs := en.enumUnlimited(head, u, w)
+			ts := en.enumUnlimited(tail, w, v)
+			en.count = saved
+			for _, h := range hs {
+				for _, t := range ts {
+					out = append(out, joinSeq(h, t))
+				}
+			}
+		}
+		return en.take(out)
+	case rre.KindAlt:
+		var out [][]string
+		for _, s := range p.Subs() {
+			out = append(out, en.enum(s, u, v)...)
+		}
+		return out
+	case rre.KindStar:
+		if en.e.Commuting(p).At(int(u), int(v)) > 0 {
+			return en.take([][]string{{node(u), p.String(), node(v)}})
+		}
+		return nil
+	case rre.KindSkip:
+		if en.e.Commuting(p).At(int(u), int(v)) > 0 {
+			return en.take([][]string{{node(u), p.StripSkips().String(), node(v)}})
+		}
+		return nil
+	case rre.KindNest:
+		if u != v {
+			return nil
+		}
+		inner := p.Subs()[0]
+		var out [][]string
+		for w := graph.NodeID(0); int(w) < g.NumNodes(); w++ {
+			if en.e.Commuting(inner).At(int(u), int(w)) == 0 {
+				continue
+			}
+			saved := en.count
+			ws := en.enumUnlimited(inner, u, w)
+			en.count = saved
+			for _, s := range ws {
+				out = append(out, append(append([]string{}, s...), "↩", node(u)))
+			}
+		}
+		return en.take(out)
+	}
+	return nil
+}
+
+// enumUnlimited enumerates without charging the cap (used for the parts
+// of a product; the product itself is capped by the caller).
+func (en *instanceEnum) enumUnlimited(p *rre.Pattern, u, v graph.NodeID) [][]string {
+	sub := &instanceEnum{e: en.e}
+	return sub.enum(p, u, v)
+}
+
+// joinSeq implements the paper's s • t: defined when the last entry of s
+// equals the first of t; the shared node appears once.
+func joinSeq(s, t []string) []string {
+	out := make([]string, 0, len(s)+len(t)-1)
+	out = append(out, s...)
+	out = append(out, t[1:]...)
+	return out
+}
+
+// reverseSeq implements the paper's s̄: entries reversed, labels marked
+// with the reversal suffix, nodes unchanged.
+func reverseSeq(s []string) []string {
+	out := make([]string, len(s))
+	for i := range s {
+		e := s[len(s)-1-i]
+		if i%2 == 1 { // label positions in the alternating sequence
+			if strings.HasSuffix(e, "-") {
+				e = strings.TrimSuffix(e, "-")
+			} else {
+				e += "-"
+			}
+		}
+		out[i] = e
+	}
+	return out
+}

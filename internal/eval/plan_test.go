@@ -1,0 +1,109 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"relsim/internal/graph"
+	"relsim/internal/rre"
+	"relsim/internal/sparse"
+)
+
+// TestChainPlanningPreservesResults: planned and left-to-right
+// evaluation must produce identical commuting matrices (associativity).
+func TestChainPlanningPreservesResults(t *testing.T) {
+	labels := []string{"a", "b", "c"}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(5)
+		g := randomGraph(rng, n, rng.Intn(14), labels)
+		steps := make([]rre.Step, 3+rng.Intn(3))
+		for i := range steps {
+			steps[i] = rre.Step{Label: labels[rng.Intn(3)], Reverse: rng.Intn(2) == 1}
+		}
+		p := rre.FromSteps(steps)
+
+		planned := New(g)
+		unplanned := New(g)
+		unplanned.SetChainPlanning(false)
+		if !planned.Commuting(p).Equal(unplanned.Commuting(p)) {
+			t.Fatalf("trial %d: planning changed the result for %s", trial, p)
+		}
+	}
+}
+
+func TestMulCostEstimateExactForFirstProduct(t *testing.T) {
+	// The estimate Σ col_a(k)·row_b(k) counts exactly the scalar
+	// multiplications of a·b; verify against a dense count.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(6)
+		var ta, tb []sparse.Triple
+		for i := 0; i < rng.Intn(12); i++ {
+			ta = append(ta, sparse.Triple{Row: rng.Intn(n), Col: rng.Intn(n), Val: 1})
+			tb = append(tb, sparse.Triple{Row: rng.Intn(n), Col: rng.Intn(n), Val: 1})
+		}
+		a, b := sparse.New(n, ta), sparse.New(n, tb)
+		var want int64
+		a.Each(func(_, k int, _ int64) {
+			b.Each(func(r, _ int, _ int64) {
+				if r == k {
+					want++
+				}
+			})
+		})
+		if got := mulCostEstimate(a, b); got != want {
+			t.Fatalf("trial %d: estimate %d, exact %d", trial, got, want)
+		}
+	}
+}
+
+func TestMulChainSingleFactor(t *testing.T) {
+	m := sparse.Identity(3)
+	if got := mulChain([]*sparse.Matrix{m}); got != m {
+		t.Error("single-factor chain must return the factor")
+	}
+}
+
+func TestMulChainPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty chain must panic")
+		}
+	}()
+	mulChain(nil)
+}
+
+// TestChainPlanningSkewedPattern sanity-checks that the planner picks
+// the cheap association on a skewed chain: a dense hop times two thin
+// hops.
+func TestChainPlanningSkewedPattern(t *testing.T) {
+	g := graph.New()
+	// 30 "authors" all pairwise connected via label d (dense), plus a
+	// thin chain via labels s and tl.
+	n := 30
+	ids := make([]graph.NodeID, n+2)
+	for i := range ids {
+		ids[i] = g.AddNode("", "")
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				g.AddEdge(ids[i], "d", ids[j])
+			}
+		}
+	}
+	g.AddEdge(ids[0], "s", ids[n])
+	g.AddEdge(ids[n], "tl", ids[n+1])
+
+	ev := New(g)
+	p := rre.MustParse("d.s.tl")
+	m := ev.Commuting(p)
+	// All d-neighbors of ids[0]... the only s edge starts at ids[0], so
+	// rows reaching ids[n+1] are the d-predecessors of ids[0].
+	var nnz int
+	m.Each(func(_, _ int, _ int64) { nnz++ })
+	if nnz != n-1 {
+		t.Errorf("nnz = %d, want %d", nnz, n-1)
+	}
+}

@@ -1,0 +1,167 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"relsim/internal/datasets"
+	"relsim/internal/eval"
+	"relsim/internal/graph"
+	"relsim/internal/mapping"
+	"relsim/internal/metrics"
+	"relsim/internal/pattern"
+	"relsim/internal/rre"
+	"relsim/internal/schema"
+	"relsim/internal/sim"
+)
+
+// ExtraBaselinesResult holds the supplementary robustness study over the
+// further §4.1 baselines (common neighbors, Katz, P-Rank), which the
+// paper argues are equally structure-sensitive but does not measure.
+type ExtraBaselinesResult struct {
+	Transformation string
+	Methods        []string
+	Taus           map[string]TauPair
+}
+
+// String renders the supplementary table.
+func (r ExtraBaselinesResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extra baselines under %s (normalized Kendall tau)\n", r.Transformation)
+	b.WriteString("method           | top5    top10\n")
+	for _, m := range r.Methods {
+		t := r.Taus[m]
+		fmt.Fprintf(&b, "%-16s | %-7.3f %-7.3f\n", m, t.Top5, t.Top10)
+	}
+	return b.String()
+}
+
+// ExtraBaselines measures common neighbors, the Katz β index and P-Rank
+// across DBLP2SIGM on a reduced DBLP instance (P-Rank materializes a
+// dense matrix), alongside RelSim as the control.
+func ExtraBaselines() ExtraBaselinesResult {
+	cfg := datasets.SmallDBLP()
+	cfg.Procs = 40
+	cfg.AuthorsPool = 300
+	cfg.PapersPerProc = [2]int{4, 10}
+	s := DBLPScenario(cfg, datasets.DBLP2SIGM(), datasets.DBLP2SIGMInverse())
+
+	evS, evD := eval.New(s.Src), eval.New(s.Dst)
+	katz := sim.DefaultKatz()
+	prS, err := sim.NewPRank(evS, sim.DefaultSimRank(), 0.5, 8192)
+	if err != nil {
+		panic(err)
+	}
+	prD, err := sim.NewPRank(evD, sim.DefaultSimRank(), 0.5, 8192)
+	if err != nil {
+		panic(err)
+	}
+
+	res := ExtraBaselinesResult{
+		Transformation: s.Name,
+		Methods:        []string{"CommonNeighbors", "Katz", "P-Rank", "RelSim"},
+		Taus:           map[string]TauPair{},
+	}
+	queries := s.Queries
+	if len(queries) > 30 {
+		queries = queries[:30]
+	}
+	res.Taus["CommonNeighbors"] = averageTau(queries,
+		func(q graph.NodeID) sim.Ranking { return sim.CommonNeighbors(evS, q, s.Candidates) },
+		func(q graph.NodeID) sim.Ranking { return sim.CommonNeighbors(evD, q, s.Candidates) })
+	res.Taus["Katz"] = averageTau(queries,
+		func(q graph.NodeID) sim.Ranking { return sim.Katz(evS, katz, q, s.Candidates) },
+		func(q graph.NodeID) sim.Ranking { return sim.Katz(evD, katz, q, s.Candidates) })
+	res.Taus["P-Rank"] = averageTau(queries,
+		func(q graph.NodeID) sim.Ranking { return prS.Query(q, s.Candidates) },
+		func(q graph.NodeID) sim.Ranking { return prD.Query(q, s.Candidates) })
+	res.Taus["RelSim"] = averageTau(queries,
+		func(q graph.NodeID) sim.Ranking { return sim.RelSim(evS, s.PatternS, q, s.Candidates) },
+		func(q graph.NodeID) sim.Ranking { return sim.RelSim(evD, s.PatternTRel, q, s.Candidates) })
+	return res
+}
+
+// Proposition5Result reports how close the aggregated Algorithm-1
+// RelSim scores are across a transformation when the user submits the
+// corresponding simple patterns on each side (§5, Proposition 5).
+type Proposition5Result struct {
+	Transformation string
+	PatternS       string
+	PatternT       string
+	GeneratedS     int
+	GeneratedT     int
+	Tau            TauPair
+	IdenticalTop10 int
+	Queries        int
+}
+
+// String renders the check.
+func (r Proposition5Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Proposition 5 check under %s\n", r.Transformation)
+	fmt.Fprintf(&b, "input over S: %s  (|E_p| = %d)\n", r.PatternS, r.GeneratedS)
+	fmt.Fprintf(&b, "input over T: %s  (|E_p| = %d)\n", r.PatternT, r.GeneratedT)
+	fmt.Fprintf(&b, "aggregated-RelSim tau: top5 %.3f, top10 %.3f\n", r.Tau.Top5, r.Tau.Top10)
+	fmt.Fprintf(&b, "identical top-10 lists: %d/%d queries\n", r.IdenticalTop10, r.Queries)
+	return b.String()
+}
+
+// Proposition5 runs the §5 usability pipeline on both sides of
+// DBLP2SIGM: the S-side schema carries the paper's constraint, the
+// T-side schema carries the constraints induced by the composition
+// Σ∘Σ⁻¹ (Proposition 1 applied in the reverse direction), and both
+// sides aggregate the Algorithm-1 pattern sets. Proposition 5 predicts
+// matching aggregate scores for corresponding inputs.
+func Proposition5() Proposition5Result {
+	cfg := datasets.SmallDBLP()
+	cfg.Procs = 40
+	cfg.AuthorsPool = 300
+	cfg.PapersPerProc = [2]int{4, 10}
+	ds := datasets.DBLP(cfg)
+	t, inv := datasets.DBLP2SIGM(), datasets.DBLP2SIGMInverse()
+	dst := t.Apply(ds.Graph)
+
+	// T-side constraints: compose the inverse with the forward mapping
+	// to obtain the tgds every transformed instance satisfies.
+	sigmaT, _ := mapping.Compose(inv, t)
+	schemaT := schema.New(t.TargetLabels(), sigmaT...)
+
+	pS := rre.MustParse("p-in-.r-a.r-a-.p-in")
+	pT := rre.MustParse("r-a.r-a-")
+
+	opt := pattern.Default()
+	esS, err := pattern.Generate(ds.Schema, pS, opt)
+	if err != nil {
+		panic(err)
+	}
+	esT, err := pattern.Generate(schemaT, pT, opt)
+	if err != nil {
+		panic(err)
+	}
+
+	evS, evD := eval.New(ds.Graph), eval.New(dst)
+	queries := datasets.DegreeWeightedSample(ds.Graph, "proc", 30, cfg.Seed+1)
+	cands := ds.Graph.NodesOfType("proc")
+
+	var t5, t10 []float64
+	identical := 0
+	for _, q := range queries {
+		a := sim.RelSimAggregate(evS, esS, q, cands)
+		b := sim.RelSimAggregate(evD, esT, q, cands)
+		t5 = append(t5, metrics.KendallTauTopK(a.IDs, b.IDs, 5))
+		t10 = append(t10, metrics.KendallTauTopK(a.IDs, b.IDs, 10))
+		if metrics.ListsEqual(a.TopK(10).IDs, b.TopK(10).IDs) {
+			identical++
+		}
+	}
+	return Proposition5Result{
+		Transformation: t.Name,
+		PatternS:       pS.String(),
+		PatternT:       pT.String(),
+		GeneratedS:     len(esS),
+		GeneratedT:     len(esT),
+		Tau:            TauPair{Top5: metrics.Mean(t5), Top10: metrics.Mean(t10)},
+		IdenticalTop10: identical,
+		Queries:        len(queries),
+	}
+}

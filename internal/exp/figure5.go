@@ -1,0 +1,289 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"relsim/internal/datasets"
+	"relsim/internal/eval"
+	"relsim/internal/mapping"
+	"relsim/internal/pattern"
+	"relsim/internal/rre"
+	"relsim/internal/schema"
+	"relsim/internal/sim"
+)
+
+func rewriteBioMed(p *rre.Pattern) (*rre.Pattern, error) {
+	return mapping.RewritePattern(p, datasets.BioMedTInverse())
+}
+
+// Figure5Result holds the scalability study: average RelSim query time
+// (Algorithm 1 mode) for each (number of constraints, pattern length)
+// cell, in seconds.
+type Figure5Result struct {
+	ConstraintCounts []int
+	PatternLengths   []int
+	// Seconds[#constraints][length]; NaN-free: missing cells are -1.
+	Seconds map[int]map[int]float64
+	// Patterns[#constraints][length] is the average |E_p|.
+	Patterns map[int]map[int]float64
+}
+
+// String renders the figure's series as rows.
+func (r Figure5Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 5: RelSim (Algorithm 1) running time in seconds\n")
+	fmt.Fprintf(&b, "%-12s", "#constraints")
+	for _, l := range r.PatternLengths {
+		fmt.Fprintf(&b, " | len=%-6d", l)
+	}
+	b.WriteString("\n")
+	for _, c := range r.ConstraintCounts {
+		fmt.Fprintf(&b, "%-12d", c)
+		for _, l := range r.PatternLengths {
+			s := r.Seconds[c][l]
+			if s < 0 {
+				fmt.Fprintf(&b, " | %-10s", "-")
+			} else {
+				fmt.Fprintf(&b, " | %-10.4f", s)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Figure5Config tunes the scalability experiment; the zero value is
+// replaced by the paper's grid (1/5/10/20/40 constraints, lengths 4–10,
+// 5 runs) with laptop-sized caps.
+type Figure5Config struct {
+	ConstraintCounts []int
+	PatternLengths   []int
+	Runs             int
+	Queries          int
+	Seed             int64
+	MaxPatterns      int
+}
+
+func (c Figure5Config) withDefaults() Figure5Config {
+	if len(c.ConstraintCounts) == 0 {
+		c.ConstraintCounts = []int{1, 5, 10, 20, 40}
+	}
+	if len(c.PatternLengths) == 0 {
+		c.PatternLengths = []int{4, 5, 6, 7, 8, 9, 10}
+	}
+	if c.Runs == 0 {
+		c.Runs = 5
+	}
+	if c.Queries == 0 {
+		c.Queries = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 23
+	}
+	if c.MaxPatterns == 0 {
+		c.MaxPatterns = 1024
+	}
+	return c
+}
+
+// Figure5 reproduces the Figure 5 scalability study: RelSim with
+// Algorithm 1 over BioMed, with randomly generated tgd constraints
+// (premises of 2–5 atoms built by coin-flipping edge labels, single
+// conclusion atom, §7.3) and random simple input patterns of length 4 to
+// 10, averaging over cfg.Runs runs. The §6 optimizations are on.
+func Figure5(cfg Figure5Config) Figure5Result {
+	cfg = cfg.withDefaults()
+	data := datasets.BioMed(datasets.SmallBioMed())
+	res := Figure5Result{
+		ConstraintCounts: cfg.ConstraintCounts,
+		PatternLengths:   cfg.PatternLengths,
+		Seconds:          map[int]map[int]float64{},
+		Patterns:         map[int]map[int]float64{},
+	}
+	opt := pattern.Default()
+	opt.MaxPatterns = cfg.MaxPatterns
+
+	for _, nc := range cfg.ConstraintCounts {
+		res.Seconds[nc] = map[int]float64{}
+		res.Patterns[nc] = map[int]float64{}
+		for _, ln := range cfg.PatternLengths {
+			var total time.Duration
+			var totalPatterns int
+			for run := 0; run < cfg.Runs; run++ {
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(1000*nc+10*ln+run)))
+				s := randomSchema(data.Schema.Labels, nc, rng)
+				p := randomSimplePattern(data.Schema.Labels, ln, rng)
+				ev := eval.New(data.Graph)
+				queries := data.Queries
+				if len(queries) > cfg.Queries {
+					queries = queries[:cfg.Queries]
+				}
+				start := time.Now()
+				ps, err := pattern.Generate(s, p, opt)
+				if err != nil {
+					panic(err)
+				}
+				for _, q := range queries {
+					sim.RelSimAggregate(ev, ps, q, nil)
+				}
+				total += time.Since(start) / time.Duration(len(queries))
+				totalPatterns += len(ps)
+			}
+			res.Seconds[nc][ln] = total.Seconds() / float64(cfg.Runs)
+			res.Patterns[nc][ln] = float64(totalPatterns) / float64(cfg.Runs)
+		}
+	}
+	return res
+}
+
+// randomSchema builds a schema over the given labels with n random tgd
+// constraints. Each premise is a random acyclic conjunction of 2–5
+// single-label atoms (a random tree over fresh variables, echoing the
+// paper's coin-flip construction); the conclusion uses a label drawn
+// from the premise so the constraint is non-easy and exercises
+// Algorithm 2.
+func randomSchema(labels []string, n int, rng *rand.Rand) *schema.Schema {
+	cs := make([]schema.Constraint, 0, n)
+	for i := 0; i < n; i++ {
+		nAtoms := 2 + rng.Intn(4)
+		vars := []schema.Var{"x0"}
+		var atoms []schema.Atom
+		var usedLabels []string
+		for a := 0; a < nAtoms; a++ {
+			attach := vars[rng.Intn(len(vars))]
+			fresh := schema.Var(fmt.Sprintf("x%d", len(vars)))
+			vars = append(vars, fresh)
+			l := labels[rng.Intn(len(labels))]
+			usedLabels = append(usedLabels, l)
+			if rng.Intn(2) == 0 {
+				atoms = append(atoms, schema.At(attach, l, fresh))
+			} else {
+				atoms = append(atoms, schema.At(fresh, l, attach))
+			}
+		}
+		concl := usedLabels[rng.Intn(len(usedLabels))]
+		from := vars[rng.Intn(len(vars))]
+		to := vars[rng.Intn(len(vars))]
+		for to == from && len(vars) > 1 {
+			to = vars[rng.Intn(len(vars))]
+		}
+		cs = append(cs, schema.TGD(fmt.Sprintf("rand%d", i), atoms, from, concl, to))
+	}
+	return schema.New(labels, cs...)
+}
+
+// randomSimplePattern builds a random simple pattern of the given length
+// over the label set, each step forward or reversed uniformly.
+func randomSimplePattern(labels []string, length int, rng *rand.Rand) *rre.Pattern {
+	steps := make([]rre.Step, length)
+	for i := range steps {
+		steps[i] = rre.Step{
+			Label:   labels[rng.Intn(len(labels))],
+			Reverse: rng.Intn(2) == 1,
+		}
+	}
+	return rre.FromSteps(steps)
+}
+
+// AblationResult compares Algorithm 1 with and without the §6
+// optimizations on the Figure 5 setup.
+type AblationResult struct {
+	Lengths                 []int
+	Constraints             int
+	OptimizedSeconds        map[int]float64
+	UnoptimizedSeconds      map[int]float64
+	OptimizedPatternCount   map[int]float64
+	UnoptimizedPatternCount map[int]float64
+}
+
+// String renders the ablation comparison.
+func (r AblationResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: §6 optimizations (constraints=%d)\n", r.Constraints)
+	b.WriteString("len | optimized s | unoptimized s | |E_p| opt | |E_p| unopt\n")
+	for _, l := range r.Lengths {
+		fmt.Fprintf(&b, "%-3d | %-11.4f | %-13.4f | %-9.1f | %-11.1f\n",
+			l, r.OptimizedSeconds[l], r.UnoptimizedSeconds[l],
+			r.OptimizedPatternCount[l], r.UnoptimizedPatternCount[l])
+	}
+	return b.String()
+}
+
+// AblationOptimizations measures pattern-generation time and |E_p| with
+// the §6 optimizations on vs off (the paper reports the unoptimized
+// variant "takes days" beyond 5 constraints; the caps keep it bounded
+// here while preserving the gap's direction).
+func AblationOptimizations(constraints int, lengths []int, runs int, seed int64) AblationResult {
+	if len(lengths) == 0 {
+		lengths = []int{4, 5, 6, 7}
+	}
+	if runs == 0 {
+		runs = 3
+	}
+	data := datasets.BioMed(datasets.SmallBioMed())
+	res := AblationResult{
+		Lengths:                 lengths,
+		Constraints:             constraints,
+		OptimizedSeconds:        map[int]float64{},
+		UnoptimizedSeconds:      map[int]float64{},
+		OptimizedPatternCount:   map[int]float64{},
+		UnoptimizedPatternCount: map[int]float64{},
+	}
+	for _, ln := range lengths {
+		for _, optimized := range []bool{true, false} {
+			opt := pattern.Unoptimized()
+			if optimized {
+				opt = pattern.Default()
+			}
+			opt.MaxPatterns = 1024
+			var total time.Duration
+			var count int
+			for run := 0; run < runs; run++ {
+				rng := rand.New(rand.NewSource(seed + int64(100*ln+run)))
+				s := randomSchema(data.Schema.Labels, constraints, rng)
+				p := randomSimplePattern(data.Schema.Labels, ln, rng)
+				start := time.Now()
+				ps, err := pattern.Generate(s, p, opt)
+				if err != nil {
+					panic(err)
+				}
+				total += time.Since(start)
+				count += len(ps)
+			}
+			if optimized {
+				res.OptimizedSeconds[ln] = total.Seconds() / float64(runs)
+				res.OptimizedPatternCount[ln] = float64(count) / float64(runs)
+			} else {
+				res.UnoptimizedSeconds[ln] = total.Seconds() / float64(runs)
+				res.UnoptimizedPatternCount[ln] = float64(count) / float64(runs)
+			}
+		}
+	}
+	return res
+}
+
+// RobustnessCheck verifies Definition 1 operationally on a scenario:
+// RelSim must return exactly equal ranked lists for every query across
+// the transformation. It returns the number of queries with any
+// difference (0 means robust).
+func RobustnessCheck(s Scenario) int {
+	rk := buildRankers(s)
+	bad := 0
+	for _, q := range s.Queries {
+		a, b := rk.RelSimSrc(q), rk.RelSimDst(q)
+		if len(a.IDs) != len(b.IDs) {
+			bad++
+			continue
+		}
+		for i := range a.IDs {
+			if a.IDs[i] != b.IDs[i] {
+				bad++
+				break
+			}
+		}
+	}
+	return bad
+}

@@ -1,0 +1,197 @@
+// Package exp drives the paper's empirical study (§7): it assembles the
+// datasets, transformations, query workloads and algorithms, and
+// regenerates every table and figure of the evaluation section. Each
+// Table*/Figure* function returns a result struct whose String method
+// prints rows shaped like the paper's.
+package exp
+
+import (
+	"fmt"
+
+	"relsim/internal/datasets"
+	"relsim/internal/eval"
+	"relsim/internal/graph"
+	"relsim/internal/mapping"
+	"relsim/internal/metrics"
+	"relsim/internal/rre"
+	"relsim/internal/sim"
+)
+
+// Scenario is one robustness experiment: a source database, its
+// transformed counterpart, a query workload, and the relationship
+// patterns each method uses on each side.
+type Scenario struct {
+	Name       string
+	Src, Dst   *graph.Graph
+	Queries    []graph.NodeID
+	Candidates []graph.NodeID // answer domain (same ids on both sides)
+	// PatternS is the relationship pattern over the source schema;
+	// PatternTSimple the closest simple meta-path over the target schema
+	// (what a PathSim/HeteSim user would pick, §7.3); PatternTRel the
+	// Corollary-1 rewriting of PatternS used by RelSim.
+	PatternS, PatternTSimple, PatternTRel *rre.Pattern
+	// Asymmetric selects HeteSim instead of PathSim (disease→drug paths).
+	Asymmetric bool
+}
+
+// queryCount is the paper's workload size for the bibliographic and
+// course datasets.
+const queryCount = 100
+
+// DBLPScenario builds the DBLP2SIGM robustness scenario on the small
+// DBLP instance (§7.1). The transformation may be swapped (DBLP2SIGMX)
+// via t; inv must be its inverse.
+func DBLPScenario(cfg datasets.DBLPConfig, t, inv mapping.Transformation) Scenario {
+	ds := datasets.DBLP(cfg)
+	dst := t.Apply(ds.Graph)
+	ps, pts := datasets.DBLPPatterns()
+	patternS := rre.MustParse(ps)
+	rel, err := mapping.RewritePattern(patternS, inv)
+	if err != nil {
+		panic(fmt.Sprintf("exp: rewrite DBLP pattern: %v", err))
+	}
+	return Scenario{
+		Name:           t.Name,
+		Src:            ds.Graph,
+		Dst:            dst,
+		Queries:        datasets.DegreeWeightedSample(ds.Graph, "proc", queryCount, cfg.Seed+1),
+		Candidates:     ds.Graph.NodesOfType("proc"),
+		PatternS:       patternS,
+		PatternTSimple: rre.MustParse(pts),
+		PatternTRel:    rel,
+	}
+}
+
+// WSUScenario builds the WSUC2ALCH robustness scenario (§7.1).
+func WSUScenario(cfg datasets.WSUConfig) Scenario {
+	ds := datasets.WSU(cfg)
+	t, inv := datasets.WSUC2ALCH(), datasets.WSUC2ALCHInverse()
+	dst := t.Apply(ds.Graph)
+	ps, pts := datasets.WSUPatterns()
+	patternS := rre.MustParse(ps)
+	rel, err := mapping.RewritePattern(patternS, inv)
+	if err != nil {
+		panic(fmt.Sprintf("exp: rewrite WSU pattern: %v", err))
+	}
+	return Scenario{
+		Name:           t.Name,
+		Src:            ds.Graph,
+		Dst:            dst,
+		Queries:        datasets.DegreeWeightedSample(ds.Graph, "course", queryCount, cfg.Seed+1),
+		Candidates:     ds.Graph.NodesOfType("course"),
+		PatternS:       patternS,
+		PatternTSimple: rre.MustParse(pts),
+		PatternTRel:    rel,
+	}
+}
+
+// BioMedScenario builds the BioMedT robustness scenario (§7.1) with the
+// 30-disease workload.
+func BioMedScenario(cfg datasets.BioMedConfig) (Scenario, datasets.BioMedData) {
+	data := datasets.BioMed(cfg)
+	t, inv := datasets.BioMedT(), datasets.BioMedTInverse()
+	dst := t.Apply(data.Graph)
+	rs, rct, _ := datasets.BioMedPatterns()
+	patternS := rre.MustParse(rs)
+	rel, err := mapping.RewritePattern(patternS, inv)
+	if err != nil {
+		panic(fmt.Sprintf("exp: rewrite BioMed pattern: %v", err))
+	}
+	return Scenario{
+		Name:           t.Name,
+		Src:            data.Graph,
+		Dst:            dst,
+		Queries:        data.Queries,
+		Candidates:     data.Graph.NodesOfType("drug"),
+		PatternS:       patternS,
+		PatternTSimple: rre.MustParse(rct),
+		PatternTRel:    rel,
+		Asymmetric:     true,
+	}, data
+}
+
+// LossyVariant returns a copy of s whose destination graph has the given
+// fraction of its edges removed (the "(.95)" transformations).
+func LossyVariant(s Scenario, fraction float64, seed int64) Scenario {
+	s.Name = fmt.Sprintf("%s(%.2f)", s.Name, 1-fraction)
+	s.Dst = datasets.RemoveRandomEdges(s.Dst, fraction, seed)
+	return s
+}
+
+// TauPair holds the average normalized Kendall tau at top-5 and top-10.
+type TauPair struct {
+	Top5, Top10 float64
+}
+
+// methodRanker produces a ranking for one query on one side of a
+// scenario.
+type methodRanker func(q graph.NodeID) sim.Ranking
+
+// averageTau runs the workload through the two rankers and averages the
+// top-5/top-10 normalized Kendall tau between the paired rankings.
+func averageTau(queries []graph.NodeID, onSrc, onDst methodRanker) TauPair {
+	var t5, t10 []float64
+	for _, q := range queries {
+		a := onSrc(q)
+		b := onDst(q)
+		t5 = append(t5, metrics.KendallTauTopK(a.IDs, b.IDs, 5))
+		t10 = append(t10, metrics.KendallTauTopK(a.IDs, b.IDs, 10))
+	}
+	return TauPair{Top5: metrics.Mean(t5), Top10: metrics.Mean(t10)}
+}
+
+// scenarioRankers builds the per-method rankers for both sides of a
+// scenario. SimRank uses the Monte Carlo sampler (exact SimRank is
+// infeasible at experiment scale, as the paper also reports); RWR uses
+// the paper's restart probability 0.8.
+type scenarioRankers struct {
+	RWRSrc, RWRDst         methodRanker
+	SimRankSrc, SimRankDst methodRanker
+	PathSimSrc, PathSimDst methodRanker
+	RelSimSrc, RelSimDst   methodRanker
+}
+
+func buildRankers(s Scenario) scenarioRankers {
+	evS, evD := eval.New(s.Src), eval.New(s.Dst)
+	rwrOpt := sim.DefaultRWR()
+	srOpt := sim.DefaultSimRank()
+	srS := sim.NewSimRankSampler(evS, srOpt)
+	srD := sim.NewSimRankSampler(evD, srOpt)
+
+	pathRanker := func(ev *eval.Evaluator, p *rre.Pattern) methodRanker {
+		if s.Asymmetric {
+			return func(q graph.NodeID) sim.Ranking {
+				r := sim.HeteSimRRE(ev, p, q, s.Candidates)
+				return r
+			}
+		}
+		return func(q graph.NodeID) sim.Ranking {
+			r, err := sim.PathSim(ev, p, q, s.Candidates)
+			if err != nil {
+				panic(err)
+			}
+			return r
+		}
+	}
+
+	return scenarioRankers{
+		RWRSrc:     func(q graph.NodeID) sim.Ranking { return sim.RWR(evS, rwrOpt, q, s.Candidates) },
+		RWRDst:     func(q graph.NodeID) sim.Ranking { return sim.RWR(evD, rwrOpt, q, s.Candidates) },
+		SimRankSrc: func(q graph.NodeID) sim.Ranking { return srS.Query(q, s.Candidates) },
+		SimRankDst: func(q graph.NodeID) sim.Ranking { return srD.Query(q, s.Candidates) },
+		PathSimSrc: pathRanker(evS, s.PatternS),
+		PathSimDst: pathRanker(evD, s.PatternTSimple),
+		// For asymmetric paths Equation 1's denominator vanishes, so —
+		// like the paper, which switches to HeteSim on BioMed — RelSim
+		// scores the RRE pattern with the HeteSim formula there.
+		RelSimSrc: relRanker(evS, s.PatternS, s),
+		RelSimDst: relRanker(evD, s.PatternTRel, s),
+	}
+}
+
+func relRanker(ev *eval.Evaluator, p *rre.Pattern, s Scenario) methodRanker {
+	if s.Asymmetric {
+		return func(q graph.NodeID) sim.Ranking { return sim.HeteSimRRE(ev, p, q, s.Candidates) }
+	}
+	return func(q graph.NodeID) sim.Ranking { return sim.RelSim(ev, p, q, s.Candidates) }
+}

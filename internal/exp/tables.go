@@ -1,0 +1,333 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"relsim/internal/datasets"
+	"relsim/internal/eval"
+	"relsim/internal/graph"
+	"relsim/internal/mapping"
+	"relsim/internal/metrics"
+	"relsim/internal/pattern"
+	"relsim/internal/rre"
+	"relsim/internal/sim"
+)
+
+// RobustnessResult holds one robustness table (Table 1 or Table 2):
+// rows are methods, columns are transformations, each cell an average
+// top-5/top-10 normalized Kendall tau.
+type RobustnessResult struct {
+	Title   string
+	Columns []string
+	Methods []string
+	// Cells[method][column]
+	Cells map[string]map[string]TauPair
+}
+
+// String renders the table in the paper's layout.
+func (r RobustnessResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", r.Title)
+	fmt.Fprintf(&b, "%-10s", "")
+	for _, c := range r.Columns {
+		fmt.Fprintf(&b, " | %-15s", c)
+	}
+	fmt.Fprintf(&b, "\n%-10s", "method")
+	for range r.Columns {
+		fmt.Fprintf(&b, " | %-7s %-7s", "top5", "top10")
+	}
+	b.WriteString("\n")
+	for _, m := range r.Methods {
+		fmt.Fprintf(&b, "%-10s", m)
+		for _, c := range r.Columns {
+			t := r.Cells[m][c]
+			fmt.Fprintf(&b, " | %-7.3f %-7.3f", t.Top5, t.Top10)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Table1 reproduces Table 1: average ranking differences of RWR,
+// SimRank and PathSim/HeteSim across the three information-preserving
+// transformations DBLP2SIGM, WSUC2ALCH and BioMedT. RelSim is included
+// as a fourth row to exhibit the paper's observation that it returns
+// identical answers (tau 0) — the paper omits the row for that reason.
+func Table1() RobustnessResult {
+	scens := []Scenario{
+		DBLPScenario(datasets.SmallDBLP(), datasets.DBLP2SIGM(), datasets.DBLP2SIGMInverse()),
+		WSUScenario(datasets.DefaultWSU()),
+	}
+	bm, _ := BioMedScenario(datasets.DefaultBioMed())
+	scens = append(scens, bm)
+	return robustnessTable("Table 1: average ranking differences (normalized Kendall tau)", scens)
+}
+
+// Table2 reproduces Table 2: robustness under transformations that
+// modify information — DBLP2SIGMX (adds connector nodes), BioMedT(.95)
+// and DBLP2SIGM(.95) (drop 5% of edges after restructuring) — now
+// including RelSim.
+func Table2() RobustnessResult {
+	sx := DBLPScenario(datasets.SmallDBLP(), datasets.DBLP2SIGMX(), datasets.DBLP2SIGMInverse())
+	bm, _ := BioMedScenario(datasets.SmallBioMed())
+	bmLossy := LossyVariant(bm, 0.05, 101)
+	dblp := DBLPScenario(datasets.SmallDBLP(), datasets.DBLP2SIGM(), datasets.DBLP2SIGMInverse())
+	dblpLossy := LossyVariant(dblp, 0.05, 103)
+	return robustnessTable("Table 2: ranking differences under information-modifying transformations", []Scenario{sx, bmLossy, dblpLossy})
+}
+
+func robustnessTable(title string, scens []Scenario) RobustnessResult {
+	res := RobustnessResult{
+		Title:   title,
+		Methods: []string{"RelSim", "RWR", "SimRank", "PathSim"},
+		Cells:   map[string]map[string]TauPair{},
+	}
+	for _, m := range res.Methods {
+		res.Cells[m] = map[string]TauPair{}
+	}
+	for _, s := range scens {
+		res.Columns = append(res.Columns, s.Name)
+		rk := buildRankers(s)
+		res.Cells["RelSim"][s.Name] = averageTau(s.Queries, rk.RelSimSrc, rk.RelSimDst)
+		res.Cells["RWR"][s.Name] = averageTau(s.Queries, rk.RWRSrc, rk.RWRDst)
+		res.Cells["SimRank"][s.Name] = averageTau(s.Queries, rk.SimRankSrc, rk.SimRankDst)
+		res.Cells["PathSim"][s.Name] = averageTau(s.Queries, rk.PathSimSrc, rk.PathSimDst)
+	}
+	return res
+}
+
+// Table3Result holds the effectiveness table: MRR per method over the
+// original BioMed graph and its BioMedT transformation.
+type Table3Result struct {
+	Methods  []string
+	Original map[string]float64
+	UnderT   map[string]float64
+}
+
+// String renders the table in the paper's layout.
+func (r Table3Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 3: average MRR over BioMed\n")
+	fmt.Fprintf(&b, "%-16s", "BioMed dataset")
+	for _, m := range r.Methods {
+		fmt.Fprintf(&b, " | %-8s", m)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-16s", "original")
+	for _, m := range r.Methods {
+		fmt.Fprintf(&b, " | %-8.3f", r.Original[m])
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-16s", "under BioMedT")
+	for _, m := range r.Methods {
+		fmt.Fprintf(&b, " | %-8.3f", r.UnderT[m])
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Table3 reproduces Table 3: MRR of RWR, SimRank, HeteSim and RelSim on
+// the 30-disease drug-discovery workload, over the original BioMed and
+// under BioMedT. HeteSim uses the direct meta-path; RelSim uses the RRE
+// that additionally counts indirectly associated phenotypes (and its
+// Corollary-1 rewriting on the transformed side), which is what lifts
+// its MRR above HeteSim's.
+func Table3() Table3Result {
+	return table3With(datasets.DefaultBioMed())
+}
+
+func table3With(cfg datasets.BioMedConfig) Table3Result {
+	scen, data := BioMedScenario(cfg)
+	_, _, effect := datasets.BioMedPatterns()
+	effectSimple := rre.MustParse(effect)
+	// RelSim's richer RRE: direct plus indirect phenotype associations.
+	effectRel := rre.MustParse("(dz-ph + ind-dz-ph).ph-pr.tgt-")
+	effectRelT, err := rreRewriteForBioMed(effectRel)
+	if err != nil {
+		panic(err)
+	}
+
+	evS, evD := eval.New(scen.Src), eval.New(scen.Dst)
+	rwrOpt := sim.DefaultRWR()
+	srOpt := sim.DefaultSimRank()
+	srS := sim.NewSimRankSampler(evS, srOpt)
+	srD := sim.NewSimRankSampler(evD, srOpt)
+	cands := scen.Candidates
+
+	rank := map[string][2]methodRanker{
+		"RWR": {
+			func(q graph.NodeID) sim.Ranking { return sim.RWR(evS, rwrOpt, q, cands) },
+			func(q graph.NodeID) sim.Ranking { return sim.RWR(evD, rwrOpt, q, cands) },
+		},
+		"SimRank": {
+			func(q graph.NodeID) sim.Ranking { return srS.Query(q, cands) },
+			func(q graph.NodeID) sim.Ranking { return srD.Query(q, cands) },
+		},
+		"HeteSim": {
+			func(q graph.NodeID) sim.Ranking { return sim.HeteSimRRE(evS, effectSimple, q, cands) },
+			func(q graph.NodeID) sim.Ranking { return sim.HeteSimRRE(evD, effectSimple, q, cands) },
+		},
+		"RelSim": {
+			func(q graph.NodeID) sim.Ranking { return sim.HeteSimRRE(evS, effectRel, q, cands) },
+			func(q graph.NodeID) sim.Ranking { return sim.HeteSimRRE(evD, effectRelT, q, cands) },
+		},
+	}
+
+	res := Table3Result{
+		Methods:  []string{"RWR", "SimRank", "HeteSim", "RelSim"},
+		Original: map[string]float64{},
+		UnderT:   map[string]float64{},
+	}
+	for _, m := range res.Methods {
+		var orig, under [][]graph.NodeID
+		for _, q := range data.Queries {
+			orig = append(orig, rank[m][0](q).IDs)
+			under = append(under, rank[m][1](q).IDs)
+		}
+		res.Original[m] = metrics.MRR(orig, data.Relevant)
+		res.UnderT[m] = metrics.MRR(under, data.Relevant)
+	}
+	return res
+}
+
+func rreRewriteForBioMed(p *rre.Pattern) (*rre.Pattern, error) {
+	return rewriteBioMed(p)
+}
+
+// Table4Result holds the efficiency table: average query processing time
+// in seconds per method/dataset, in the paper's two modes.
+type Table4Result struct {
+	// Seconds[mode][method][dataset]; modes are "single" and "alg1".
+	Seconds map[string]map[string]map[string]float64
+}
+
+// String renders the table in the paper's layout.
+func (r Table4Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 4: average query processing time in seconds\n")
+	b.WriteString("            | single pattern      | using Algorithm 1\n")
+	b.WriteString("            | DBLP      BioMed    | DBLP      BioMed\n")
+	for _, m := range []string{"RelSim", "PathSim"} {
+		fmt.Fprintf(&b, "%-11s | %-9.5f %-9.5f | %-9.5f %-9.5f\n", m,
+			r.Seconds["single"][m]["DBLP"], r.Seconds["single"][m]["BioMed"],
+			r.Seconds["alg1"][m]["DBLP"], r.Seconds["alg1"][m]["BioMed"])
+	}
+	return b.String()
+}
+
+// Table4 reproduces Table 4: query processing time of RelSim vs PathSim
+// over DBLP and BioMed, first with exact relationship patterns (§4), then
+// with simple input patterns expanded by Algorithm 1 (§5). Following the
+// paper's setup, the commuting matrices of the workload's meta-paths up
+// to length 3 are materialized before timing.
+func Table4() Table4Result {
+	res := Table4Result{Seconds: map[string]map[string]map[string]float64{
+		"single": {"RelSim": {}, "PathSim": {}},
+		"alg1":   {"RelSim": {}, "PathSim": {}},
+	}}
+
+	// DBLP: time on the transformed (SIGMOD-Record-style) database. The
+	// reference pattern is the proceedings-similarity pattern of the
+	// robustness experiments; RelSim runs its Corollary-1 rewriting over
+	// the transformed schema, PathSim the closest simple meta-path (§7.3).
+	dblp := datasets.DBLP(datasets.FullDBLP())
+	dblpT := datasets.DBLP2SIGM().Apply(dblp.Graph)
+	dblpQueries := datasets.DegreeWeightedSample(dblp.Graph, "proc", queryCount, 5)
+	dblpCands := dblp.Graph.NodesOfType("proc")
+	ps, pts := datasets.DBLPPatterns()
+	relDBLP, err := mapping.RewritePattern(rre.MustParse(ps), datasets.DBLP2SIGMInverse())
+	if err != nil {
+		panic(err)
+	}
+	pathDBLP := rre.MustParse(pts)
+
+	res.Seconds["single"]["RelSim"]["DBLP"] = timeRanker(dblpT, relDBLP, dblpQueries, dblpCands, false)
+	res.Seconds["single"]["PathSim"]["DBLP"] = timeRanker(dblpT, pathDBLP, dblpQueries, dblpCands, false)
+
+	// BioMed: time on the BioMedT-transformed database with the
+	// disease→drug patterns.
+	bio := datasets.BioMed(datasets.DefaultBioMed())
+	bioT := datasets.BioMedT().Apply(bio.Graph)
+	bioCands := bio.Graph.NodesOfType("drug")
+	relBio := rre.MustParse("<dz-ph.parent>.ph-pr.tgt-")
+	pathBio := rre.MustParse("dz-ph.parent.ph-pr.tgt-")
+
+	res.Seconds["single"]["RelSim"]["BioMed"] = timeRanker(bioT, relBio, bio.Queries, bioCands, true)
+	res.Seconds["single"]["PathSim"]["BioMed"] = timeRanker(bioT, pathBio, bio.Queries, bioCands, true)
+
+	// Algorithm 1 mode: both methods receive the same simple pattern;
+	// RelSim expands it against the schema constraints and aggregates.
+	relOpt := pattern.Default()
+	dblpSimple := rre.MustParse("p-in-.r-a.r-a-.p-in")
+	res.Seconds["alg1"]["RelSim"]["DBLP"] = timeAlg1(dblp, dblpSimple, dblpQueries, dblp.Graph.NodesOfType("proc"), false, relOpt)
+	res.Seconds["alg1"]["PathSim"]["DBLP"] = timeRanker(dblp.Graph, dblpSimple, dblpQueries, dblp.Graph.NodesOfType("proc"), false)
+
+	bioSimple := rre.MustParse("dz-ph.ph-pr.tgt-")
+	res.Seconds["alg1"]["RelSim"]["BioMed"] = timeAlg1(bio.Dataset, bioSimple, bio.Queries, bioCands, true, relOpt)
+	res.Seconds["alg1"]["PathSim"]["BioMed"] = timeRanker(bio.Graph, bioSimple, bio.Queries, bioCands, true)
+
+	return res
+}
+
+// timeRanker measures the average per-query time of ranking with a
+// single pattern, with the pattern's simple sub-patterns up to length 3
+// pre-materialized (the Table 4 setting).
+func timeRanker(g *graph.Graph, p *rre.Pattern, queries, cands []graph.NodeID, asymmetric bool) float64 {
+	ev := eval.New(g)
+	materializeWorkload(ev, p)
+	start := time.Now()
+	for _, q := range queries {
+		if asymmetric {
+			sim.HeteSimRRE(ev, p, q, cands)
+		} else {
+			sim.RelSim(ev, p, q, cands)
+		}
+	}
+	return time.Since(start).Seconds() / float64(len(queries))
+}
+
+// timeAlg1 measures the average per-query time of aggregated RelSim with
+// Algorithm 1 pattern generation included (run once per workload, as the
+// generated set is query-independent but its cost is part of answering).
+func timeAlg1(ds datasets.Dataset, p *rre.Pattern, queries, cands []graph.NodeID, asymmetric bool, opt pattern.Options) float64 {
+	ev := eval.New(ds.Graph)
+	materializeWorkload(ev, p)
+	start := time.Now()
+	ps, err := pattern.Generate(ds.Schema, p, opt)
+	if err != nil {
+		panic(err)
+	}
+	for _, q := range queries {
+		if asymmetric {
+			for _, gp := range ps {
+				sim.HeteSimRRE(ev, gp, q, cands)
+			}
+		} else {
+			sim.RelSimAggregate(ev, ps, q, cands)
+		}
+	}
+	return time.Since(start).Seconds() / float64(len(queries))
+}
+
+// materializeWorkload pre-computes the commuting matrices of every
+// simple prefix (length ≤ 3) of the pattern's step sequence, standing in
+// for the paper's "all meta-paths up to size 3 materialized" (the full
+// cross product is memory-prohibitive on commodity hardware; only the
+// workload-relevant subset affects the timings).
+func materializeWorkload(ev *eval.Evaluator, p *rre.Pattern) {
+	steps, ok := p.StripSkips().Steps()
+	if !ok {
+		// Collect the labels and materialize single-step matrices.
+		for _, l := range p.Labels() {
+			ev.Materialize(rre.Label(l), rre.Rev(rre.Label(l)))
+		}
+		return
+	}
+	for i := 0; i < len(steps); i++ {
+		for j := i + 1; j <= len(steps) && j-i <= 3; j++ {
+			ev.Materialize(rre.FromSteps(steps[i:j]))
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format, coloring nodes by
+// type. Intended for eyeballing small graphs and example output; large
+// graphs render but are unreadable.
+func WriteDOT(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "digraph G {")
+	fmt.Fprintln(bw, "  rankdir=LR;")
+	palette := []string{"lightblue", "lightyellow", "lightpink", "lightgreen", "lavender", "wheat", "mistyrose", "honeydew"}
+	colorOf := map[string]string{}
+	for i := 0; i < g.NumNodes(); i++ {
+		n := g.Node(NodeID(i))
+		color, ok := colorOf[n.Type]
+		if !ok {
+			color = palette[len(colorOf)%len(palette)]
+			colorOf[n.Type] = color
+		}
+		label := n.Name
+		if label == "" {
+			label = fmt.Sprintf("n%d", n.ID)
+		}
+		fmt.Fprintf(bw, "  n%d [label=%q style=filled fillcolor=%q];\n", n.ID, label, color)
+	}
+	var err error
+	g.EachEdge(func(e Edge) {
+		if err == nil {
+			_, err = fmt.Fprintf(bw, "  n%d -> n%d [label=%q];\n", e.From, e.To, e.Label)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// WriteTSV writes the edge list as tab-separated "from<TAB>label<TAB>to"
+// rows using node names when available (falling back to "#<id>"), the
+// common interchange format for public graph datasets.
+func WriteTSV(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	name := func(id NodeID) string {
+		if n := g.Node(id); n.Name != "" {
+			return n.Name
+		}
+		return "#" + strconv.Itoa(int(id))
+	}
+	var err error
+	g.EachEdge(func(e Edge) {
+		if err == nil {
+			_, err = fmt.Fprintf(bw, "%s\t%s\t%s\n", name(e.From), e.Label, name(e.To))
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadTSV parses a tab-separated edge list (from, label, to per row,
+// blank lines and #-comments ignored). Node names create nodes on first
+// use, with an optional typer callback assigning node types from names
+// (nil gives untyped nodes).
+func ReadTSV(r io.Reader, typer func(name string) string) (*Graph, error) {
+	g := New()
+	ids := map[string]NodeID{}
+	intern := func(name string) NodeID {
+		if id, ok := ids[name]; ok {
+			return id
+		}
+		typ := ""
+		if typer != nil {
+			typ = typer(name)
+		}
+		id := g.AddNode(name, typ)
+		ids[name] = id
+		return id
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, "\t")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("graph: tsv line %d: want 3 fields, got %d", lineNo, len(parts))
+		}
+		from, label, to := parts[0], parts[1], parts[2]
+		if label == "" {
+			return nil, fmt.Errorf("graph: tsv line %d: empty label", lineNo)
+		}
+		g.AddEdge(intern(from), label, intern(to))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: read tsv: %w", err)
+	}
+	return g, nil
+}

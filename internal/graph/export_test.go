@@ -1,0 +1,87 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := small()
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph G", `n0 -> n1 [label="l1"]`, `label="a"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTSVRoundTrip(t *testing.T) {
+	g := small()
+	var buf bytes.Buffer
+	if err := WriteTSV(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTSV(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumEdges() != g.NumEdges() {
+		t.Errorf("edges = %d, want %d", back.NumEdges(), g.NumEdges())
+	}
+	// Edge multiset over names is preserved.
+	a, _ := back.NodeByName("a")
+	b, _ := back.NodeByName("b")
+	if !back.HasEdge(a.ID, "l1", b.ID) {
+		t.Error("edge a-l1-b lost")
+	}
+}
+
+func TestWriteTSVUnnamedNodes(t *testing.T) {
+	g := New()
+	u := g.AddNode("", "")
+	v := g.AddNode("", "")
+	g.AddEdge(u, "l", v)
+	var buf bytes.Buffer
+	if err := WriteTSV(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "#0\tl\t#1") {
+		t.Errorf("unnamed nodes must use #id: %q", buf.String())
+	}
+}
+
+func TestReadTSVTyper(t *testing.T) {
+	in := "paper1\tp-in\tproc1\n# comment\n\npaper2\tp-in\tproc1\n"
+	g, err := ReadTSV(strings.NewReader(in), func(name string) string {
+		if strings.HasPrefix(name, "paper") {
+			return "paper"
+		}
+		return "proc"
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.NodesOfType("paper")) != 2 || len(g.NodesOfType("proc")) != 1 {
+		t.Errorf("typer not applied: %v", g.Stats())
+	}
+	if g.NumEdges() != 2 {
+		t.Errorf("edges = %d", g.NumEdges())
+	}
+}
+
+func TestReadTSVErrors(t *testing.T) {
+	for _, in := range []string{
+		"a\tb",       // 2 fields
+		"a\t\tb",     // empty label
+		"a\tb\tc\td", // 4 fields
+	} {
+		if _, err := ReadTSV(strings.NewReader(in), nil); err == nil {
+			t.Errorf("ReadTSV(%q) succeeded, want error", in)
+		}
+	}
+}

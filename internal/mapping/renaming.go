@@ -1,0 +1,45 @@
+package mapping
+
+import (
+	"fmt"
+	"sort"
+
+	"relsim/internal/schema"
+)
+
+// Renaming builds the transformation that renames edge labels according
+// to the given map (labels not in the map are dropped — list every label
+// explicitly, mapping a label to itself to keep it). Theorem 3 of the
+// paper shows that for schemas without constraints, bijective renamings
+// are the *only* invertible structural variations; this constructor and
+// RenamingInverse make that degenerate family available directly.
+func Renaming(name string, rename map[string]string) Transformation {
+	labels := make([]string, 0, len(rename))
+	for l := range rename {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	t := Transformation{Name: name}
+	for _, l := range labels {
+		t.Rules = append(t.Rules, Rule{
+			Name:       fmt.Sprintf("rename-%s-%s", l, rename[l]),
+			Premise:    []schema.Atom{schema.At("x", l, "y")},
+			Conclusion: []ConclusionAtom{{From: "x", Label: rename[l], To: "y"}},
+		})
+	}
+	return t
+}
+
+// RenamingInverse returns the inverse renaming. It returns an error if
+// the map is not injective (a non-bijective renaming is not invertible,
+// Theorem 3).
+func RenamingInverse(name string, rename map[string]string) (Transformation, error) {
+	inv := make(map[string]string, len(rename))
+	for from, to := range rename {
+		if prev, dup := inv[to]; dup {
+			return Transformation{}, fmt.Errorf("mapping: renaming is not injective: %q and %q both map to %q", prev, from, to)
+		}
+		inv[to] = from
+	}
+	return Renaming(name, inv), nil
+}

@@ -1,0 +1,109 @@
+package mapping
+
+import (
+	"fmt"
+
+	"relsim/internal/rre"
+	"relsim/internal/schema"
+)
+
+// RewritePattern implements the Theorem 2 / Corollary 1 mapping M: given
+// a pattern p over the source schema S and the inverse transformation
+// Σ⁻¹ (whose rules have premises over the target schema T and conclude
+// S-labels), it returns the pattern p' over T with the same instance
+// counts on Σ(D) as p has on D, for every database D on which Σ is
+// invertible.
+//
+// Every S-label a in p is replaced by ⌈⌈t₁ + … + t_k⌋⌋ where t_i is the
+// canonical traversal (main path plus nested detours) of the premise
+// graph of the i-th inverse rule concluding (x1, a, x2), oriented from x1
+// to x2. Identity-copied labels rewrite to themselves because the
+// traversal of the single-atom premise (x, a, y) is just a and ⌈⌈a⌋⌋ = a.
+//
+// An error is returned if some label of p is concluded by no inverse
+// rule (the pattern cannot be expressed over T) or if an inverse premise
+// graph is cyclic or disconnected between the conclusion variables.
+func RewritePattern(p *rre.Pattern, inv Transformation) (*rre.Pattern, error) {
+	table, err := labelRewrites(inv)
+	if err != nil {
+		return nil, err
+	}
+	return rewrite(p, table)
+}
+
+func labelRewrites(inv Transformation) (map[string]*rre.Pattern, error) {
+	byLabel := map[string][]*rre.Pattern{}
+	for _, r := range inv.Rules {
+		pg := schema.PremiseGraphOf(schema.Constraint{
+			Name:       r.Name,
+			Premise:    r.Premise,
+			Conclusion: schema.Atom{From: "x", Path: rre.Label("_"), To: "y"},
+		})
+		if !pg.IsAcyclic() {
+			return nil, fmt.Errorf("mapping: inverse rule %s has a cyclic premise; Theorem 2 requires acyclic premises", r.Name)
+		}
+		for _, c := range r.Conclusion {
+			t, ok := pg.CanonicalTraversal(c.From, c.To)
+			if !ok {
+				return nil, fmt.Errorf("mapping: inverse rule %s premise does not connect %s to %s", r.Name, c.From, c.To)
+			}
+			byLabel[c.Label] = append(byLabel[c.Label], t)
+		}
+	}
+	table := make(map[string]*rre.Pattern, len(byLabel))
+	for l, ts := range byLabel {
+		table[l] = rre.Skip(rre.Alt(ts...))
+	}
+	return table, nil
+}
+
+func rewrite(p *rre.Pattern, table map[string]*rre.Pattern) (*rre.Pattern, error) {
+	switch p.Kind() {
+	case rre.KindEps:
+		return p, nil
+	case rre.KindLabel:
+		r, ok := table[p.LabelName()]
+		if !ok {
+			return nil, fmt.Errorf("mapping: label %q is not concluded by any inverse rule", p.LabelName())
+		}
+		return r, nil
+	case rre.KindRev:
+		s, err := rewrite(p.Subs()[0], table)
+		if err != nil {
+			return nil, err
+		}
+		return rre.Rev(s), nil
+	case rre.KindStar:
+		s, err := rewrite(p.Subs()[0], table)
+		if err != nil {
+			return nil, err
+		}
+		return rre.Star(s), nil
+	case rre.KindConcat, rre.KindAlt:
+		subs := make([]*rre.Pattern, len(p.Subs()))
+		for i, s := range p.Subs() {
+			r, err := rewrite(s, table)
+			if err != nil {
+				return nil, err
+			}
+			subs[i] = r
+		}
+		if p.Kind() == rre.KindConcat {
+			return rre.Concat(subs...), nil
+		}
+		return rre.Alt(subs...), nil
+	case rre.KindNest:
+		s, err := rewrite(p.Subs()[0], table)
+		if err != nil {
+			return nil, err
+		}
+		return rre.Nest(s), nil
+	case rre.KindSkip:
+		s, err := rewrite(p.Subs()[0], table)
+		if err != nil {
+			return nil, err
+		}
+		return rre.Skip(s), nil
+	}
+	return nil, fmt.Errorf("mapping: invalid pattern kind %v", p.Kind())
+}

@@ -1,0 +1,219 @@
+// Package metrics implements the ranked-list comparison measures of the
+// paper's empirical evaluation (§7): normalized Kendall's tau over top-k
+// lists for structural robustness, and Reciprocal Rank / Mean Reciprocal
+// Rank for effectiveness.
+package metrics
+
+import (
+	"math"
+
+	"relsim/internal/graph"
+)
+
+// KendallTauTopK compares two top-k ranked lists and returns the
+// normalized Kendall's tau distance in [0, 1]: 0 means the lists are
+// identical, 1 means one is the reverse of the other.
+//
+// Following Fagin, Kumar & Sivakumar's extension of Kendall's tau to
+// top-k lists, the measure counts, over all unordered pairs {i, j} drawn
+// from the union of the two lists, the pairs on which the lists disagree;
+// a pair with both elements missing from one of the lists contributes the
+// neutral penalty ½. The count is normalized by the total number of
+// pairs. Two empty lists are identical (distance 0).
+func KendallTauTopK(a, b []graph.NodeID, k int) float64 {
+	a = truncate(a, k)
+	b = truncate(b, k)
+	posA := positions(a)
+	posB := positions(b)
+
+	union := make([]graph.NodeID, 0, len(a)+len(b))
+	seen := map[graph.NodeID]bool{}
+	for _, id := range a {
+		if !seen[id] {
+			seen[id] = true
+			union = append(union, id)
+		}
+	}
+	for _, id := range b {
+		if !seen[id] {
+			seen[id] = true
+			union = append(union, id)
+		}
+	}
+	if len(union) < 2 {
+		return 0
+	}
+
+	var penalty float64
+	var pairs int
+	for i := 0; i < len(union); i++ {
+		for j := i + 1; j < len(union); j++ {
+			x, y := union[i], union[j]
+			pairs++
+			ax, aok := posA[x]
+			ay, ayok := posA[y]
+			bx, bok := posB[x]
+			by, byok := posB[y]
+			switch {
+			case aok && ayok && bok && byok:
+				// Both pairs ranked in both lists: discordant if order flips.
+				if (ax < ay) != (bx < by) {
+					penalty++
+				}
+			case aok && ayok: // ranked in a only; b misses at least one
+				// If b ranks exactly one of them, that one is implicitly
+				// ahead of the missing one.
+				if bok && !byok && ax > ay {
+					penalty++
+				}
+				if !bok && byok && ax < ay {
+					penalty++
+				}
+				if !bok && !byok {
+					penalty += 0.5
+				}
+			case bok && byok: // ranked in b only
+				if aok && !ayok && bx > by {
+					penalty++
+				}
+				if !aok && ayok && bx < by {
+					penalty++
+				}
+				if !aok && !ayok {
+					penalty += 0.5
+				}
+			default:
+				// Each list ranks at most one of the pair. If each list
+				// ranks a different element, the orders conflict.
+				if aok && byok || ayok && bok {
+					penalty++
+				} else {
+					penalty += 0.5
+				}
+			}
+		}
+	}
+	return penalty / float64(pairs)
+}
+
+func truncate(xs []graph.NodeID, k int) []graph.NodeID {
+	if k > 0 && len(xs) > k {
+		return xs[:k]
+	}
+	return xs
+}
+
+func positions(xs []graph.NodeID) map[graph.NodeID]int {
+	m := make(map[graph.NodeID]int, len(xs))
+	for i, x := range xs {
+		if _, dup := m[x]; !dup {
+			m[x] = i
+		}
+	}
+	return m
+}
+
+// ReciprocalRank returns 1/p where p is the 1-based position of the
+// first relevant answer in the ranked list, or 0 if no relevant answer
+// appears.
+func ReciprocalRank(ranked []graph.NodeID, relevant map[graph.NodeID]bool) float64 {
+	for i, id := range ranked {
+		if relevant[id] {
+			return 1 / float64(i+1)
+		}
+	}
+	return 0
+}
+
+// MRR returns the mean reciprocal rank over a query workload: rankings
+// and relevants must have equal length, pairing each ranked list with
+// its relevant-answer set.
+func MRR(rankings [][]graph.NodeID, relevants []map[graph.NodeID]bool) float64 {
+	if len(rankings) == 0 {
+		return 0
+	}
+	if len(rankings) != len(relevants) {
+		panic("metrics: MRR requires one relevant set per ranking")
+	}
+	var sum float64
+	for i := range rankings {
+		sum += ReciprocalRank(rankings[i], relevants[i])
+	}
+	return sum / float64(len(rankings))
+}
+
+// ListsEqual reports whether two ranked lists contain exactly the same
+// ids at the same positions (Definition 1's answer equivalence).
+func ListsEqual(a, b []graph.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PrecisionAtK returns the fraction of the top-k ranked answers that
+// are relevant. Lists shorter than k are treated as padded with
+// irrelevant answers (divide by k), the standard IR convention.
+func PrecisionAtK(ranked []graph.NodeID, relevant map[graph.NodeID]bool, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	hits := 0
+	for i, id := range ranked {
+		if i >= k {
+			break
+		}
+		if relevant[id] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// NDCGAtK returns the normalized discounted cumulative gain of the
+// top-k list with binary relevance: DCG = Σ rel_i / log2(i+1) over the
+// first k positions, normalized by the ideal DCG for the number of
+// relevant items.
+func NDCGAtK(ranked []graph.NodeID, relevant map[graph.NodeID]bool, k int) float64 {
+	if k <= 0 || len(relevant) == 0 {
+		return 0
+	}
+	var dcg float64
+	for i, id := range ranked {
+		if i >= k {
+			break
+		}
+		if relevant[id] {
+			dcg += 1 / math.Log2(float64(i+2))
+		}
+	}
+	var ideal float64
+	n := len(relevant)
+	if n > k {
+		n = k
+	}
+	for i := 0; i < n; i++ {
+		ideal += 1 / math.Log2(float64(i+2))
+	}
+	if ideal == 0 {
+		return 0
+	}
+	return dcg / ideal
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

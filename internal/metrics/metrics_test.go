@@ -1,0 +1,205 @@
+package metrics
+
+import (
+	"testing"
+
+	"relsim/internal/graph"
+)
+
+func ids(xs ...int) []graph.NodeID {
+	out := make([]graph.NodeID, len(xs))
+	for i, x := range xs {
+		out[i] = graph.NodeID(x)
+	}
+	return out
+}
+
+func TestKendallTauIdentical(t *testing.T) {
+	a := ids(1, 2, 3, 4, 5)
+	if got := KendallTauTopK(a, a, 5); got != 0 {
+		t.Errorf("identical lists tau = %v, want 0", got)
+	}
+}
+
+func TestKendallTauReversed(t *testing.T) {
+	a := ids(1, 2, 3, 4, 5)
+	b := ids(5, 4, 3, 2, 1)
+	if got := KendallTauTopK(a, b, 5); got != 1 {
+		t.Errorf("reversed lists tau = %v, want 1", got)
+	}
+}
+
+func TestKendallTauEmpty(t *testing.T) {
+	if got := KendallTauTopK(nil, nil, 5); got != 0 {
+		t.Errorf("two empty lists tau = %v, want 0", got)
+	}
+	// A single shared element: no pairs either way.
+	if got := KendallTauTopK(ids(1), ids(1), 5); got != 0 {
+		t.Errorf("singleton tau = %v, want 0", got)
+	}
+}
+
+func TestKendallTauDisjoint(t *testing.T) {
+	a := ids(1, 2)
+	b := ids(3, 4)
+	got := KendallTauTopK(a, b, 5)
+	if got <= 0.5 || got > 1 {
+		t.Errorf("disjoint lists tau = %v, want in (0.5, 1]", got)
+	}
+}
+
+func TestKendallTauSwap(t *testing.T) {
+	a := ids(1, 2, 3)
+	b := ids(2, 1, 3)
+	// One discordant pair out of three.
+	got := KendallTauTopK(a, b, 3)
+	want := 1.0 / 3.0
+	if got != want {
+		t.Errorf("single swap tau = %v, want %v", got, want)
+	}
+}
+
+func TestKendallTauTruncation(t *testing.T) {
+	a := ids(1, 2, 3, 4, 5, 6, 7, 8)
+	b := ids(1, 2, 3, 4, 5, 8, 7, 6)
+	// Top-5 prefixes agree completely.
+	if got := KendallTauTopK(a, b, 5); got != 0 {
+		t.Errorf("top-5 tau = %v, want 0", got)
+	}
+	if got := KendallTauTopK(a, b, 8); got == 0 {
+		t.Error("top-8 tau should detect the tail swap")
+	}
+}
+
+func TestKendallTauMonotoneInDisagreement(t *testing.T) {
+	base := ids(1, 2, 3, 4, 5)
+	small := KendallTauTopK(base, ids(1, 2, 3, 5, 4), 5)
+	large := KendallTauTopK(base, ids(5, 4, 3, 2, 1), 5)
+	if !(small < large) {
+		t.Errorf("tau not monotone: %v !< %v", small, large)
+	}
+}
+
+func TestKendallTauSymmetric(t *testing.T) {
+	a := ids(1, 2, 3, 9)
+	b := ids(3, 7, 1)
+	if KendallTauTopK(a, b, 5) != KendallTauTopK(b, a, 5) {
+		t.Error("tau must be symmetric")
+	}
+}
+
+func TestReciprocalRank(t *testing.T) {
+	rel := map[graph.NodeID]bool{7: true}
+	if got := ReciprocalRank(ids(7, 1, 2), rel); got != 1 {
+		t.Errorf("RR = %v, want 1", got)
+	}
+	if got := ReciprocalRank(ids(1, 7, 2), rel); got != 0.5 {
+		t.Errorf("RR = %v, want 0.5", got)
+	}
+	if got := ReciprocalRank(ids(1, 2, 3), rel); got != 0 {
+		t.Errorf("RR = %v, want 0", got)
+	}
+	if got := ReciprocalRank(nil, rel); got != 0 {
+		t.Errorf("RR on empty list = %v, want 0", got)
+	}
+}
+
+func TestMRR(t *testing.T) {
+	rankings := [][]graph.NodeID{ids(7, 1), ids(1, 8)}
+	relevants := []map[graph.NodeID]bool{{7: true}, {8: true}}
+	if got := MRR(rankings, relevants); got != 0.75 {
+		t.Errorf("MRR = %v, want 0.75", got)
+	}
+	if got := MRR(nil, nil); got != 0 {
+		t.Errorf("MRR of empty workload = %v, want 0", got)
+	}
+}
+
+func TestMRRPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MRR([][]graph.NodeID{ids(1)}, nil)
+}
+
+func TestListsEqual(t *testing.T) {
+	if !ListsEqual(ids(1, 2), ids(1, 2)) {
+		t.Error("equal lists reported unequal")
+	}
+	if ListsEqual(ids(1, 2), ids(2, 1)) {
+		t.Error("order must matter")
+	}
+	if ListsEqual(ids(1), ids(1, 2)) {
+		t.Error("length must matter")
+	}
+	if !ListsEqual(nil, nil) {
+		t.Error("two empty lists are equivalent (Definition 1)")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) must be 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+}
+
+func TestKendallTauRange(t *testing.T) {
+	// Tau stays within [0,1] on assorted partial overlaps.
+	cases := [][2][]graph.NodeID{
+		{ids(1, 2, 3), ids(2, 3, 4)},
+		{ids(1), ids(2)},
+		{ids(1, 2, 3, 4, 5), ids(5, 1)},
+		{ids(1, 2), nil},
+	}
+	for _, c := range cases {
+		got := KendallTauTopK(c[0], c[1], 10)
+		if got < 0 || got > 1 {
+			t.Errorf("tau(%v,%v) = %v out of [0,1]", c[0], c[1], got)
+		}
+	}
+}
+
+func TestPrecisionAtK(t *testing.T) {
+	rel := map[graph.NodeID]bool{1: true, 3: true}
+	if got := PrecisionAtK(ids(1, 2, 3, 4), rel, 2); got != 0.5 {
+		t.Errorf("P@2 = %v, want 0.5", got)
+	}
+	if got := PrecisionAtK(ids(1, 2, 3, 4), rel, 4); got != 0.5 {
+		t.Errorf("P@4 = %v, want 0.5", got)
+	}
+	if got := PrecisionAtK(ids(1), rel, 4); got != 0.25 {
+		t.Errorf("P@4 short list = %v, want 0.25 (padded)", got)
+	}
+	if got := PrecisionAtK(nil, rel, 0); got != 0 {
+		t.Errorf("P@0 = %v, want 0", got)
+	}
+}
+
+func TestNDCGAtK(t *testing.T) {
+	rel := map[graph.NodeID]bool{7: true}
+	// Relevant at rank 1: perfect.
+	if got := NDCGAtK(ids(7, 1, 2), rel, 3); got != 1 {
+		t.Errorf("nDCG = %v, want 1", got)
+	}
+	// Relevant at rank 2: 1/log2(3).
+	got := NDCGAtK(ids(1, 7, 2), rel, 3)
+	want := 1 / 1.584962500721156
+	if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("nDCG = %v, want %v", got, want)
+	}
+	if NDCGAtK(ids(1, 2), rel, 2) != 0 {
+		t.Error("no relevant in top-k must give 0")
+	}
+	if NDCGAtK(ids(7), nil, 3) != 0 {
+		t.Error("empty relevant set must give 0")
+	}
+	// Monotone in rank of the hit.
+	if !(NDCGAtK(ids(7, 1, 2), rel, 3) > NDCGAtK(ids(1, 2, 7), rel, 3)) {
+		t.Error("nDCG must decrease as the hit moves down")
+	}
+}

@@ -1,0 +1,296 @@
+// Package pattern implements Algorithm 1 (PatternGenerator) and
+// Algorithm 2 (ModPatternRefsPerConstraint) of the paper (§5), which turn
+// a simple input pattern plus the schema's tgd constraints into the set
+// E_p of RRE patterns whose aggregated Equation-1 score is structurally
+// robust (Proposition 5). The §6 optimizations — skipping trivial
+// constraints, skipping easy constraints whose conclusion label does not
+// occur in their premise, and only rewriting sub-patterns that mention a
+// constraint's conclusion label — are individually switchable so their
+// effect can be measured (the ablation benchmark).
+package pattern
+
+import (
+	"fmt"
+	"sort"
+
+	"relsim/internal/rre"
+	"relsim/internal/schema"
+)
+
+// Options configures the generator. The zero value enables every §6
+// optimization with a generous pattern cap; see Default.
+type Options struct {
+	// SkipTrivialConstraints drops constraints whose premise and
+	// conclusion are logically identical (§6.1).
+	SkipTrivialConstraints bool
+	// SkipEasyConstraints drops constraints whose conclusion label does
+	// not appear in their premise (§6.2, Theorem 4): they only induce
+	// renaming-style transformations.
+	SkipEasyConstraints bool
+	// FilterByConclusion rewrites a sub-pattern against a constraint only
+	// if the sub-pattern mentions the constraint's conclusion label
+	// (§6.2, Proposition 6): transformations induced by a constraint can
+	// only remove edges of that label.
+	FilterByConclusion bool
+	// MaxPatterns caps |E_p|; 0 means 4096. The cap guards the
+	// worst-case exponential blow-up the paper analyzes.
+	MaxPatterns int
+	// MaxTraversalsPerMatch caps the RRE variants Algorithm 2 emits per
+	// premise-graph match; 0 means 64.
+	MaxTraversalsPerMatch int
+}
+
+// Default returns the options used by the experiments: all optimizations
+// on.
+func Default() Options {
+	return Options{
+		SkipTrivialConstraints: true,
+		SkipEasyConstraints:    true,
+		FilterByConclusion:     true,
+	}
+}
+
+// Unoptimized returns options with every §6 optimization disabled, used
+// by the ablation study.
+func Unoptimized() Options {
+	return Options{}
+}
+
+func (o Options) maxPatterns() int {
+	if o.MaxPatterns > 0 {
+		return o.MaxPatterns
+	}
+	return 4096
+}
+
+func (o Options) maxTraversals() int {
+	if o.MaxTraversalsPerMatch > 0 {
+		return o.MaxTraversalsPerMatch
+	}
+	return 64
+}
+
+// Rewrite is one (e, e') element of Algorithm 2's result set R: the
+// contiguous sub-pattern e of the input, located at [Start, End) in the
+// input's step sequence, and a corresponding RRE e'.
+type Rewrite struct {
+	Start, End  int
+	Replacement *rre.Pattern
+}
+
+// ModPatternRefsPerConstraint is Algorithm 2: for each contiguous
+// sub-pattern e of the simple pattern steps that occurs as a directed
+// walk in the premise graph of γ, it emits every RRE e' that traverses a
+// connected subgraph of the premise graph between the walk's endpoints,
+// visiting each edge once (with the ⌈⌈·⌋⌋ variants of §5). The
+// unmodified e itself is not emitted — Algorithm 1 keeps the original
+// pattern separately.
+func ModPatternRefsPerConstraint(γ schema.Constraint, steps []rre.Step, opt Options) []Rewrite {
+	pg := schema.PremiseGraphOf(γ)
+	if !pg.IsAcyclic() {
+		// Theorem 2 restricts attention to acyclic premises; a cyclic
+		// premise would need conjunctive RREs (§4.2 discussion).
+		return nil
+	}
+	conclusionLabel, ok := γ.ConclusionLabel()
+	if !ok {
+		return nil
+	}
+	var out []Rewrite
+	for i := 0; i < len(steps); i++ {
+		for j := i + 1; j <= len(steps); j++ {
+			sub := steps[i:j]
+			if opt.FilterByConclusion && !stepsMention(sub, conclusionLabel) {
+				continue
+			}
+			subPattern := rre.FromSteps(sub)
+			for _, m := range pg.MatchSimplePath(sub) {
+				ts := pg.Traversals(m.From, m.To, schema.TraversalOptions{
+					AllSubgraphs: true,
+					SkipVariants: true,
+					MaxPatterns:  opt.maxTraversals(),
+				})
+				for _, t := range ts {
+					if t.Equal(subPattern) {
+						continue
+					}
+					out = append(out, Rewrite{Start: i, End: j, Replacement: t})
+				}
+			}
+		}
+	}
+	return dedupeRewrites(out)
+}
+
+func stepsMention(steps []rre.Step, label string) bool {
+	for _, s := range steps {
+		if s.Label == label {
+			return true
+		}
+	}
+	return false
+}
+
+func dedupeRewrites(rs []Rewrite) []Rewrite {
+	seen := map[string]bool{}
+	out := rs[:0]
+	for _, r := range rs {
+		k := fmt.Sprintf("%d:%d:%s", r.Start, r.End, r.Replacement)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Generate is Algorithm 1 (PatternGenerator): it expands the simple
+// input pattern p over schema s into the set E_p of RREs obtained by
+// replacing, in all combinations, sub-patterns of p with the rewrites
+// Algorithm 2 derives from the schema constraints. The input pattern is
+// always a member of the result. The result is deterministic (sorted by
+// canonical string) and capped at opt.MaxPatterns.
+func Generate(s *schema.Schema, p *rre.Pattern, opt Options) ([]*rre.Pattern, error) {
+	steps, ok := p.Steps()
+	if !ok {
+		return nil, fmt.Errorf("pattern: input %s is not a simple pattern", p)
+	}
+	constraints := activeConstraints(s, opt)
+
+	// Precompute, per start position, the applicable rewrites.
+	bySuffix := make([][]Rewrite, len(steps))
+	for _, γ := range constraints {
+		for _, rw := range ModPatternRefsPerConstraint(γ, steps, opt) {
+			bySuffix[rw.Start] = append(bySuffix[rw.Start], rw)
+		}
+	}
+	// Labels concluded by easy constraints (derived labels such as
+	// BioMed's indirect-associated-with) are equivalent to their premise
+	// traversal; §6.2 prescribes replacing such a label l with the
+	// x1 ↪ x2 traversal rather than running Algorithm 2 on it. This
+	// substitution is not an optimization, so it applies regardless of
+	// Options.
+	for _, rw := range easyLabelRewrites(s, steps) {
+		bySuffix[rw.Start] = append(bySuffix[rw.Start], rw)
+	}
+
+	type state struct {
+		prefix *rre.Pattern
+		i      int
+	}
+	done := map[string]*rre.Pattern{}
+	seenState := map[string]bool{}
+	work := []state{{prefix: rre.Eps(), i: 0}}
+	for len(work) > 0 {
+		st := work[len(work)-1]
+		work = work[:len(work)-1]
+		if st.i >= len(steps) {
+			key := st.prefix.String()
+			if _, dup := done[key]; !dup {
+				done[key] = st.prefix
+				if len(done) >= opt.maxPatterns() {
+					break
+				}
+			}
+			continue
+		}
+		push := func(next *rre.Pattern, j int) {
+			key := fmt.Sprintf("%s@%d", next, j)
+			if !seenState[key] {
+				seenState[key] = true
+				work = append(work, state{prefix: next, i: j})
+			}
+		}
+		// Advance with the original label (line 7).
+		step := rre.FromSteps(steps[st.i : st.i+1])
+		push(rre.Concat(st.prefix, step), st.i+1)
+		// Replace a sub-pattern starting here with each rewrite (line 13).
+		for _, rw := range bySuffix[st.i] {
+			push(rre.Concat(st.prefix, rw.Replacement), rw.End)
+		}
+	}
+
+	keys := make([]string, 0, len(done))
+	for k := range done {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*rre.Pattern, len(keys))
+	for i, k := range keys {
+		out[i] = done[k]
+	}
+	return out, nil
+}
+
+// easyLabelRewrites builds single-step rewrites replacing each
+// occurrence of a label concluded by a non-trivial easy constraint with
+// the canonical traversal of that constraint's premise graph between the
+// conclusion variables (reversed for reversed steps). Per §6.2 the
+// traversal contains no skip operator.
+func easyLabelRewrites(s *schema.Schema, steps []rre.Step) []Rewrite {
+	byLabel := map[string][]*rre.Pattern{}
+	for _, c := range s.Constraints {
+		if c.IsTrivial() || !c.IsEasy() {
+			continue
+		}
+		l, ok := c.ConclusionLabel()
+		if !ok {
+			continue
+		}
+		pg := schema.PremiseGraphOf(c)
+		if !pg.IsAcyclic() {
+			continue
+		}
+		from, to := c.Conclusion.From, c.Conclusion.To
+		if c.Conclusion.Path.Kind() == rre.KindRev {
+			from, to = to, from
+		}
+		if t, ok := pg.CanonicalTraversal(from, to); ok {
+			byLabel[l] = append(byLabel[l], t)
+		}
+	}
+	if len(byLabel) == 0 {
+		return nil
+	}
+	var out []Rewrite
+	for i, st := range steps {
+		for _, t := range byLabel[st.Label] {
+			r := t
+			if st.Reverse {
+				r = rre.Rev(t)
+			}
+			out = append(out, Rewrite{Start: i, End: i + 1, Replacement: r})
+		}
+	}
+	return out
+}
+
+// activeConstraints applies the §6 constraint-level filters.
+func activeConstraints(s *schema.Schema, opt Options) []schema.Constraint {
+	var out []schema.Constraint
+	for _, c := range s.Constraints {
+		if opt.SkipTrivialConstraints && c.IsTrivial() {
+			continue
+		}
+		if opt.SkipEasyConstraints && c.IsEasy() {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// Stats summarizes a generation run for the ablation benchmarks.
+type Stats struct {
+	Constraints int // constraints considered after filtering
+	Patterns    int // |E_p|
+}
+
+// GenerateWithStats is Generate plus run statistics.
+func GenerateWithStats(s *schema.Schema, p *rre.Pattern, opt Options) ([]*rre.Pattern, Stats, error) {
+	ps, err := Generate(s, p, opt)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return ps, Stats{Constraints: len(activeConstraints(s, opt)), Patterns: len(ps)}, nil
+}

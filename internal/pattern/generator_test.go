@@ -1,0 +1,313 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+
+	"relsim/internal/rre"
+	"relsim/internal/schema"
+)
+
+// sigmSchema is the SIGMOD-Record-style schema of Figure 1(b)/2(b): the
+// constraint implied on the target side relates field edges through
+// conferences. For Algorithm-2 testing we use the paper's §5 example
+// constraint γ1 over the Figure 1(a) style schema.
+func gamma1() schema.Constraint {
+	return schema.TGD("γ1",
+		[]schema.Atom{
+			schema.At("x1", "area", "x3"),
+			schema.At("x3", "pub-in", "x4"),
+			schema.At("x2", "pub-in", "x4"),
+		},
+		"x1", "area", "x2")
+}
+
+func TestModPatternRefsPaperExample(t *testing.T) {
+	// §5: for input sub-pattern area·pub-in, Algorithm 2 over γ1 must
+	// produce ⌈⌈a·p⌋⌋, a·p·[p⁻], ⌈⌈a·p⌋⌋·[p⁻] (all traversals except the
+	// original a·p itself).
+	steps, _ := rre.MustParse("area.pub-in").Steps()
+	rs := ModPatternRefsPerConstraint(gamma1(), steps, Default())
+	got := map[string]bool{}
+	for _, r := range rs {
+		if r.Start == 0 && r.End == 2 {
+			got[r.Replacement.String()] = true
+		}
+	}
+	for _, w := range []string{
+		"<area.pub-in>",
+		"area.pub-in.[pub-in-]",
+		"<area.pub-in>.[pub-in-]",
+	} {
+		if !got[w] {
+			t.Errorf("missing rewrite %q (got %v)", w, got)
+		}
+	}
+	if got["area.pub-in"] {
+		t.Error("the unmodified sub-pattern must not be emitted")
+	}
+}
+
+func TestModPatternRefsConclusionFilter(t *testing.T) {
+	// §6.2: the sub-pattern pub-in·pub-in⁻ does not mention the
+	// conclusion label area, so with the filter on it produces nothing.
+	steps, _ := rre.MustParse("pub-in.pub-in-").Steps()
+	if rs := ModPatternRefsPerConstraint(gamma1(), steps, Default()); len(rs) != 0 {
+		t.Errorf("filter off? got %v", rs)
+	}
+	// With the filter disabled the match exists (x3→x4→x2).
+	if rs := ModPatternRefsPerConstraint(gamma1(), steps, Unoptimized()); len(rs) == 0 {
+		t.Error("unoptimized run must find the pub-in·pub-in⁻ match")
+	}
+}
+
+func TestModPatternRefsCyclicPremise(t *testing.T) {
+	cyc := schema.TGD("cyc",
+		[]schema.Atom{
+			schema.At("x", "a", "y"),
+			schema.At("y", "b", "z"),
+			schema.At("x", "c", "z"),
+		},
+		"x", "a", "z")
+	steps, _ := rre.MustParse("a.b").Steps()
+	if rs := ModPatternRefsPerConstraint(cyc, steps, Default()); rs != nil {
+		t.Errorf("cyclic premises must be skipped, got %v", rs)
+	}
+}
+
+func TestGenerateIncludesInput(t *testing.T) {
+	s := schema.New([]string{"area", "pub-in"}, gamma1())
+	p := rre.MustParse("area.pub-in")
+	ps, err := Generate(s, p, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, q := range ps {
+		if q.Equal(p) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("E_p must contain the input pattern; got %v", ps)
+	}
+	if len(ps) < 4 {
+		t.Errorf("E_p = %v, expected the paper's four variants", ps)
+	}
+}
+
+func TestGenerateRejectsNonSimple(t *testing.T) {
+	s := schema.New([]string{"a"})
+	if _, err := Generate(s, rre.MustParse("[a]"), Default()); err == nil {
+		t.Error("non-simple input must be rejected")
+	}
+}
+
+func TestGenerateNoConstraints(t *testing.T) {
+	s := schema.New([]string{"a", "b"})
+	p := rre.MustParse("a.b-")
+	ps, err := Generate(s, p, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 1 || !ps[0].Equal(p) {
+		t.Errorf("without constraints E_p must be {input}; got %v", ps)
+	}
+}
+
+func TestGenerateTrivialConstraintIgnored(t *testing.T) {
+	triv := schema.Constraint{
+		Name:       "triv",
+		Premise:    []schema.Atom{schema.At("x", "a", "y")},
+		Conclusion: schema.Atom{From: "x", Path: rre.Label("a"), To: "y"},
+	}
+	s := schema.New([]string{"a"}, triv)
+	ps, err := Generate(s, rre.MustParse("a.a"), Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 1 {
+		t.Errorf("trivial constraints must not expand E_p; got %v", ps)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	s := schema.New([]string{"area", "pub-in"}, gamma1())
+	p := rre.MustParse("pub-in-.area-.area.pub-in")
+	a, err := Generate(s, p, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Generate(s, p, Default())
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic sizes %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatal("nondeterministic order")
+		}
+	}
+}
+
+func TestGenerateCap(t *testing.T) {
+	s := schema.New([]string{"area", "pub-in"}, gamma1())
+	opt := Default()
+	opt.MaxPatterns = 2
+	ps, err := Generate(s, rre.MustParse("area.pub-in.pub-in-.area-"), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) > 2 {
+		t.Errorf("cap ignored: %d patterns", len(ps))
+	}
+}
+
+func TestEasyLabelSubstitution(t *testing.T) {
+	// BioMed-style: ind is concluded by an easy constraint with premise
+	// parent/dz-ph; occurrences of ind in the input must offer the
+	// traversal substitution (dz-ph·parent oriented d→ph2), regardless of
+	// optimization flags.
+	easy := schema.TGD("ind",
+		[]schema.Atom{
+			schema.At("ph1", "parent", "ph2"),
+			schema.At("d", "dz-ph", "ph1"),
+		},
+		"d", "ind", "ph2")
+	s := schema.New([]string{"parent", "dz-ph", "ind", "tgt"}, easy)
+	for _, opt := range []Options{Default(), Unoptimized()} {
+		ps, err := Generate(s, rre.MustParse("ind.tgt-"), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, q := range ps {
+			if q.String() == "dz-ph.parent.tgt-" {
+				found = true
+			}
+		}
+		if !found {
+			var got []string
+			for _, q := range ps {
+				got = append(got, q.String())
+			}
+			t.Errorf("opt=%+v: missing easy-label substitution; got %v", opt, got)
+		}
+	}
+}
+
+func TestEasyLabelSubstitutionReversed(t *testing.T) {
+	easy := schema.TGD("ind",
+		[]schema.Atom{
+			schema.At("ph1", "parent", "ph2"),
+			schema.At("d", "dz-ph", "ph1"),
+		},
+		"d", "ind", "ph2")
+	s := schema.New([]string{"parent", "dz-ph", "ind", "tgt"}, easy)
+	ps, err := Generate(s, rre.MustParse("tgt.ind-"), Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, q := range ps {
+		if q.String() == "tgt.parent-.dz-ph-" {
+			found = true
+		}
+	}
+	if !found {
+		var got []string
+		for _, q := range ps {
+			got = append(got, q.String())
+		}
+		t.Errorf("missing reversed substitution; got %v", got)
+	}
+}
+
+func TestGenerateWithStats(t *testing.T) {
+	s := schema.New([]string{"area", "pub-in"}, gamma1())
+	ps, st, err := GenerateWithStats(s, rre.MustParse("area.pub-in"), Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Patterns != len(ps) || st.Constraints != 1 {
+		t.Errorf("stats = %+v for %d patterns", st, len(ps))
+	}
+}
+
+func TestUnoptimizedGeneratesMore(t *testing.T) {
+	s := schema.New([]string{"area", "pub-in"}, gamma1())
+	p := rre.MustParse("pub-in.pub-in-.area.pub-in")
+	opt, _ := Generate(s, p, Default())
+	unopt, _ := Generate(s, p, Unoptimized())
+	if len(unopt) < len(opt) {
+		t.Errorf("unoptimized |E_p|=%d < optimized %d", len(unopt), len(opt))
+	}
+}
+
+func TestGenerateMultipleConstraints(t *testing.T) {
+	// Two constraints over disjoint labels both contribute rewrites.
+	c1 := gamma1()
+	c2 := schema.TGD("γ2",
+		[]schema.Atom{
+			schema.At("o1", "os", "s"),
+			schema.At("o1", "co", "c"),
+			schema.At("o2", "co", "c"),
+		},
+		"o2", "os", "s")
+	s := schema.New([]string{"area", "pub-in", "os", "co"}, c1, c2)
+	ps, err := Generate(s, rre.MustParse("area.pub-in.co-.os"), Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrites from both constraints must appear.
+	var fromC1, fromC2 bool
+	for _, p := range ps {
+		str := p.String()
+		if strings.Contains(str, "<area.pub-in>") {
+			fromC1 = true
+		}
+		if strings.Contains(str, "[co-]") || strings.Contains(str, "<co-.os>") {
+			fromC2 = true
+		}
+	}
+	if !fromC1 || !fromC2 {
+		var got []string
+		for _, p := range ps {
+			got = append(got, p.String())
+		}
+		t.Errorf("missing rewrites from both constraints (c1=%v c2=%v): %v", fromC1, fromC2, got)
+	}
+}
+
+func TestGenerateSkipsCyclicConstraint(t *testing.T) {
+	cyc := schema.TGD("cyc",
+		[]schema.Atom{
+			schema.At("x", "a", "y"),
+			schema.At("y", "b", "z"),
+			schema.At("x", "c", "z"),
+		},
+		"x", "a", "z")
+	s := schema.New([]string{"a", "b", "c"}, cyc)
+	ps, err := Generate(s, rre.MustParse("a.b"), Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 1 {
+		t.Errorf("cyclic constraint must contribute nothing; |E_p| = %d", len(ps))
+	}
+}
+
+func TestRewritePositions(t *testing.T) {
+	steps, _ := rre.MustParse("pub-in-.area-.area.pub-in").Steps()
+	rs := ModPatternRefsPerConstraint(gamma1(), steps, Default())
+	for _, r := range rs {
+		if r.Start < 0 || r.End > len(steps) || r.Start >= r.End {
+			t.Errorf("rewrite span [%d,%d) out of bounds for %d steps", r.Start, r.End, len(steps))
+		}
+		if r.Replacement == nil {
+			t.Error("nil replacement")
+		}
+	}
+	if len(rs) == 0 {
+		t.Error("expected rewrites for the area-bearing pattern")
+	}
+}

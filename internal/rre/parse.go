@@ -1,0 +1,272 @@
+package rre
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseError describes a syntax error with its byte offset in the input.
+type ParseError struct {
+	Input  string
+	Offset int
+	Msg    string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("rre: parse %q at offset %d: %s", e.Input, e.Offset, e.Msg)
+}
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokLabel
+	tokDot    // .
+	tokPlus   // + or |
+	tokStar   // *
+	tokRev    // postfix -
+	tokLParen // (
+	tokRParen // )
+	tokLBrack // [
+	tokRBrack // ]
+	tokLAngle // <
+	tokRAngle // >
+	tokEps    // ()
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+// lex tokenizes the input. The only subtlety is '-': inside an
+// identifier a '-' followed by an identifier character extends the label
+// ("p-in"); otherwise it is the postfix reverse operator.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '.':
+			toks = append(toks, token{tokDot, ".", i})
+			i++
+		case c == '+' || c == '|':
+			toks = append(toks, token{tokPlus, string(c), i})
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*", i})
+			i++
+		case c == '-':
+			toks = append(toks, token{tokRev, "-", i})
+			i++
+		case c == '(':
+			// "()" is epsilon.
+			if i+1 < len(input) && input[i+1] == ')' {
+				toks = append(toks, token{tokEps, "()", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokLParen, "(", i})
+				i++
+			}
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == '[':
+			toks = append(toks, token{tokLBrack, "[", i})
+			i++
+		case c == ']':
+			toks = append(toks, token{tokRBrack, "]", i})
+			i++
+		case c == '<':
+			toks = append(toks, token{tokLAngle, "<", i})
+			i++
+		case c == '>':
+			toks = append(toks, token{tokRAngle, ">", i})
+			i++
+		case isIdentStart(c):
+			start := i
+			i++
+			for i < len(input) {
+				if isIdentChar(input[i]) {
+					i++
+					continue
+				}
+				// '-' joins the label only when followed by an ident char.
+				if input[i] == '-' && i+1 < len(input) && isIdentChar(input[i+1]) {
+					i += 2
+					continue
+				}
+				break
+			}
+			toks = append(toks, token{tokLabel, input[start:i], start})
+		default:
+			return nil, &ParseError{Input: input, Offset: i, Msg: fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(input)})
+	return toks, nil
+}
+
+type parser struct {
+	input string
+	toks  []token
+	pos   int
+}
+
+func (ps *parser) peek() token { return ps.toks[ps.pos] }
+func (ps *parser) next() token { t := ps.toks[ps.pos]; ps.pos++; return t }
+func (ps *parser) errf(t token, format string, args ...any) error {
+	return &ParseError{Input: ps.input, Offset: t.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Parse parses an RRE pattern in the ASCII concrete syntax. See the
+// package comment for the grammar.
+func Parse(input string) (*Pattern, error) {
+	if strings.TrimSpace(input) == "" {
+		return nil, &ParseError{Input: input, Offset: 0, Msg: "empty pattern"}
+	}
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	ps := &parser{input: input, toks: toks}
+	p, err := ps.parseAlt()
+	if err != nil {
+		return nil, err
+	}
+	if t := ps.peek(); t.kind != tokEOF {
+		return nil, ps.errf(t, "unexpected %q after pattern", t.text)
+	}
+	return p, nil
+}
+
+// MustParse is Parse that panics on error; intended for tests, examples
+// and compiled-in constants.
+func MustParse(input string) *Pattern {
+	p, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (ps *parser) parseAlt() (*Pattern, error) {
+	first, err := ps.parseConcat()
+	if err != nil {
+		return nil, err
+	}
+	branches := []*Pattern{first}
+	for ps.peek().kind == tokPlus {
+		ps.next()
+		b, err := ps.parseConcat()
+		if err != nil {
+			return nil, err
+		}
+		branches = append(branches, b)
+	}
+	if len(branches) == 1 {
+		return branches[0], nil
+	}
+	return Alt(branches...), nil
+}
+
+func (ps *parser) parseConcat() (*Pattern, error) {
+	first, err := ps.parsePostfix()
+	if err != nil {
+		return nil, err
+	}
+	factors := []*Pattern{first}
+	for {
+		t := ps.peek()
+		if t.kind == tokDot {
+			ps.next()
+			f, err := ps.parsePostfix()
+			if err != nil {
+				return nil, err
+			}
+			factors = append(factors, f)
+			continue
+		}
+		// Juxtaposition of atoms (e.g. "a[b]") also concatenates.
+		if t.kind == tokLabel || t.kind == tokLParen || t.kind == tokLBrack || t.kind == tokLAngle || t.kind == tokEps {
+			f, err := ps.parsePostfix()
+			if err != nil {
+				return nil, err
+			}
+			factors = append(factors, f)
+			continue
+		}
+		break
+	}
+	return Concat(factors...), nil
+}
+
+func (ps *parser) parsePostfix() (*Pattern, error) {
+	p, err := ps.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch ps.peek().kind {
+		case tokStar:
+			ps.next()
+			p = Star(p)
+		case tokRev:
+			ps.next()
+			p = Rev(p)
+		default:
+			return p, nil
+		}
+	}
+}
+
+func (ps *parser) parseAtom() (*Pattern, error) {
+	t := ps.next()
+	switch t.kind {
+	case tokEps:
+		return Eps(), nil
+	case tokLabel:
+		return Label(t.text), nil
+	case tokLParen:
+		p, err := ps.parseAlt()
+		if err != nil {
+			return nil, err
+		}
+		if c := ps.next(); c.kind != tokRParen {
+			return nil, ps.errf(c, "expected ')'")
+		}
+		return p, nil
+	case tokLBrack:
+		p, err := ps.parseAlt()
+		if err != nil {
+			return nil, err
+		}
+		if c := ps.next(); c.kind != tokRBrack {
+			return nil, ps.errf(c, "expected ']'")
+		}
+		return Nest(p), nil
+	case tokLAngle:
+		p, err := ps.parseAlt()
+		if err != nil {
+			return nil, err
+		}
+		if c := ps.next(); c.kind != tokRAngle {
+			return nil, ps.errf(c, "expected '>'")
+		}
+		return Skip(p), nil
+	default:
+		return nil, ps.errf(t, "expected pattern, found %q", t.text)
+	}
+}

@@ -1,0 +1,211 @@
+package rre
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// genPattern builds a random RRE of bounded depth over a small label set
+// (labels include hyphens to exercise the lexer rule).
+func genPattern(rng *rand.Rand, depth int) *Pattern {
+	labels := []string{"a", "b", "p-in", "r-a", "long-label-x"}
+	if depth <= 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return Rev(Label(labels[rng.Intn(len(labels))]))
+		case 1:
+			return Eps()
+		default:
+			return Label(labels[rng.Intn(len(labels))])
+		}
+	}
+	switch rng.Intn(8) {
+	case 0, 1:
+		return Concat(genPattern(rng, depth-1), genPattern(rng, depth-1))
+	case 2:
+		return Alt(genPattern(rng, depth-1), genPattern(rng, depth-1))
+	case 3:
+		return Star(genPattern(rng, depth-1))
+	case 4:
+		return Rev(genPattern(rng, depth-1))
+	case 5:
+		return Nest(genPattern(rng, depth-1))
+	case 6:
+		return Skip(genPattern(rng, depth-1))
+	default:
+		return genPattern(rng, 0)
+	}
+}
+
+// TestQuickPrintParseRoundTrip: String followed by Parse is the
+// identity on the AST (patterns print unambiguously).
+func TestQuickPrintParseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := genPattern(rng, 3)
+		q, err := Parse(p.String())
+		if err != nil {
+			t.Logf("parse %q: %v", p.String(), err)
+			return false
+		}
+		if !p.Equal(q) {
+			t.Logf("round trip %q → %q", p.String(), q.String())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRevInvolution: Rev(Rev(p)) is structurally p for canonical
+// patterns (Rev canonicalizes as it builds).
+func TestQuickRevInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := genPattern(rng, 3)
+		return Rev(Rev(p)).Equal(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickStripSkipsIdempotent: stripping skips twice equals once.
+func TestQuickStripSkipsIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := genPattern(rng, 3)
+		s := p.StripSkips()
+		return s.StripSkips().Equal(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickStripSkipsNoSkipNodes: the stripped pattern contains no skip
+// node.
+func TestQuickStripSkipsNoSkipNodes(t *testing.T) {
+	var hasSkip func(p *Pattern) bool
+	hasSkip = func(p *Pattern) bool {
+		if p.Kind() == KindSkip {
+			return true
+		}
+		for _, s := range p.Subs() {
+			if hasSkip(s) {
+				return true
+			}
+		}
+		return false
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		return !hasSkip(genPattern(rng, 3).StripSkips())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLabelsPreservedByRev: reversal does not change the label set.
+func TestQuickLabelsPreservedByRev(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := genPattern(rng, 3)
+		a, b := p.Labels(), Rev(p).Labels()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickStepsRoundTrip: FromSteps inverts Steps on simple patterns.
+func TestQuickStepsRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		steps := make([]Step, n)
+		labels := []string{"a", "b-c", "d"}
+		for i := range steps {
+			steps[i] = Step{Label: labels[rng.Intn(len(labels))], Reverse: rng.Intn(2) == 1}
+		}
+		p := FromSteps(steps)
+		got, ok := p.Steps()
+		if !ok || len(got) != len(steps) {
+			return false
+		}
+		for i := range steps {
+			if got[i] != steps[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLengthMatchesLabelCount: Length equals the number of label
+// leaves.
+func TestQuickLengthMatchesLabelCount(t *testing.T) {
+	var count func(p *Pattern) int
+	count = func(p *Pattern) int {
+		if p.Kind() == KindLabel {
+			return 1
+		}
+		n := 0
+		for _, s := range p.Subs() {
+			n += count(s)
+		}
+		return n
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := genPattern(rng, 3)
+		return p.Length() == count(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickParserNeverPanics feeds random byte strings to the parser.
+func TestQuickParserNeverPanics(t *testing.T) {
+	alphabet := []byte("ab-.<>[]()*+| \t")
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(24)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Parse(%q) panicked: %v", buf, r)
+			}
+		}()
+		p, err := Parse(string(buf))
+		if err == nil {
+			// Whatever parses must round trip.
+			q, err2 := Parse(p.String())
+			return err2 == nil && p.Equal(q)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,250 @@
+package rre
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []string{
+		"a",
+		"p-in",
+		"published-in-",
+		"a.b",
+		"a.b.c",
+		"a + b",
+		"a.b + c",
+		"a*",
+		"[a.b]",
+		"<a.b>",
+		"field.[published-in-].[published-in-].field-",
+		"<area.p-in>.<p-in-.area->",
+		"(a + b).c",
+		"a.(b + c)-",
+		"(dz-ph + ind-dz-ph).ph-pr.tgt-",
+		"()",
+	}
+	for _, in := range cases {
+		p, err := Parse(in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", in, err)
+			continue
+		}
+		back, err := Parse(p.String())
+		if err != nil {
+			t.Errorf("reparse of %q → %q: %v", in, p.String(), err)
+			continue
+		}
+		if !p.Equal(back) {
+			t.Errorf("round trip %q → %q → %q not equal", in, p.String(), back.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"   ",
+		"a..b",
+		"a +",
+		"(a",
+		"[a",
+		"<a",
+		"a)",
+		"a]",
+		"?",
+		".a",
+		"+a",
+	}
+	for _, in := range cases {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestHyphenLabelLexing(t *testing.T) {
+	// "p-in-" must be the reverse of label "p-in": trailing '-' is the
+	// operator, interior '-' joins the label.
+	p := MustParse("p-in-")
+	if p.Kind() != KindRev {
+		t.Fatalf("kind = %v, want rev", p.Kind())
+	}
+	if l := p.Subs()[0].LabelName(); l != "p-in" {
+		t.Errorf("label = %q, want p-in", l)
+	}
+	// Double reversal collapses.
+	if q := MustParse("p-in--"); q.Kind() != KindLabel || q.LabelName() != "p-in" {
+		t.Errorf("p-in-- = %s, want p-in", q)
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	// Disjunction binds loosest: a.b + c = (a.b) + c.
+	p := MustParse("a.b + c")
+	if p.Kind() != KindAlt {
+		t.Fatalf("a.b + c top kind = %v, want alt", p.Kind())
+	}
+	// Star binds tighter than concat: a.b* = a.(b*).
+	q := MustParse("a.b*")
+	if q.Kind() != KindConcat || q.Subs()[1].Kind() != KindStar {
+		t.Errorf("a.b* parsed as %s", q)
+	}
+}
+
+func TestRevCanonicalization(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"(a.b)-", "b-.a-"},
+		{"(a + b)-", "a- + b-"},
+		{"(a*)-", "a-*"},
+		{"<a.b>-", "<b-.a->"},
+		{"a--", "a"},
+		{"[a.b]-", "[a.b]"}, // nested patterns are self-inverse
+	}
+	for _, c := range cases {
+		got := MustParse(c.in).String()
+		if got != c.want {
+			t.Errorf("%q canonicalizes to %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestConcatFlattensAndDropsEps(t *testing.T) {
+	p := Concat(Label("a"), Eps(), Concat(Label("b"), Label("c")))
+	if p.String() != "a.b.c" {
+		t.Errorf("got %s, want a.b.c", p)
+	}
+	if Concat().Kind() != KindEps {
+		t.Error("empty Concat must be ε")
+	}
+	if Concat(Eps(), Eps()).Kind() != KindEps {
+		t.Error("Concat of ε must be ε")
+	}
+}
+
+func TestAltDeduplicates(t *testing.T) {
+	p := Alt(Label("a"), Label("b"), Label("a"))
+	if len(p.Subs()) != 2 {
+		t.Errorf("Alt(a,b,a) has %d branches, want 2", len(p.Subs()))
+	}
+	if q := Alt(Label("a"), Label("a")); q.Kind() != KindLabel {
+		t.Error("Alt(a,a) must collapse to a")
+	}
+}
+
+func TestSkipSimplifications(t *testing.T) {
+	// Proposition 3(2): ⌈⌈a⌋⌋ = a.
+	if Skip(Label("a")).Kind() != KindLabel {
+		t.Error("Skip(label) must collapse to the label")
+	}
+	if Skip(Rev(Label("a"))).Kind() != KindRev {
+		t.Error("Skip(label⁻) must collapse to the reversed label")
+	}
+	if p := Skip(Skip(Concat(Label("a"), Label("b")))); p.Kind() != KindSkip {
+		t.Error("Skip(Skip(p)) must collapse to Skip(p)")
+	} else if p.Subs()[0].Kind() != KindConcat {
+		t.Error("inner skip not collapsed")
+	}
+}
+
+func TestIsSimpleAndSteps(t *testing.T) {
+	simple := MustParse("a.b-.c")
+	if !simple.IsSimple() {
+		t.Error("a.b-.c must be simple")
+	}
+	steps, ok := simple.Steps()
+	if !ok || len(steps) != 3 {
+		t.Fatalf("Steps: %v, %v", steps, ok)
+	}
+	if steps[1].Label != "b" || !steps[1].Reverse {
+		t.Errorf("step 1 = %+v, want reversed b", steps[1])
+	}
+	if !FromSteps(steps).Equal(simple) {
+		t.Error("FromSteps(Steps(p)) != p")
+	}
+
+	for _, in := range []string{"[a]", "<a.b>", "a*", "a + b", "()"} {
+		if MustParse(in).IsSimple() {
+			t.Errorf("%q must not be simple", in)
+		}
+	}
+}
+
+func TestLabels(t *testing.T) {
+	p := MustParse("a.[b-].<c.a>")
+	got := p.Labels()
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("Labels = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Labels = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestStripSkips(t *testing.T) {
+	p := MustParse("<a.b>.c")
+	s := p.StripSkips()
+	if s.String() != "a.b.c" {
+		t.Errorf("StripSkips = %s, want a.b.c", s)
+	}
+	// Nested skips inside other operators are removed too.
+	q := MustParse("[<a.b>]").StripSkips()
+	if q.String() != "[a.b]" {
+		t.Errorf("StripSkips = %s, want [a.b]", q)
+	}
+}
+
+func TestSizeAndLength(t *testing.T) {
+	p := MustParse("a.[b].c")
+	if p.Length() != 3 {
+		t.Errorf("Length = %d, want 3", p.Length())
+	}
+	if p.Size() < 4 {
+		t.Errorf("Size = %d, want >= 4", p.Size())
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := MustParse("a.[b]"), MustParse("a.[b]")
+	if !a.Equal(b) {
+		t.Error("structurally equal patterns reported unequal")
+	}
+	if a.Equal(MustParse("a.[c]")) {
+		t.Error("different patterns reported equal")
+	}
+	if a.Equal(nil) {
+		t.Error("pattern equal to nil")
+	}
+}
+
+func TestLabelPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Label(\"\") must panic")
+		}
+	}()
+	Label("")
+}
+
+func TestParseErrorMessage(t *testing.T) {
+	_, err := Parse("a..b")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "offset") {
+		t.Errorf("error %q should mention the offset", err)
+	}
+}
+
+func TestJuxtapositionConcatenates(t *testing.T) {
+	p := MustParse("a[b]")
+	if p.Kind() != KindConcat || len(p.Subs()) != 2 {
+		t.Fatalf("a[b] = %s (kind %v)", p, p.Kind())
+	}
+	if p.Subs()[1].Kind() != KindNest {
+		t.Error("second factor must be the nested pattern")
+	}
+}

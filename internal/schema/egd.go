@@ -1,0 +1,71 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+
+	"relsim/internal/eval"
+	"relsim/internal/graph"
+)
+
+// EGD is an equality-generating dependency (paper §2):
+//
+//	∀x̄ ( φ(x̄) → x1 = x2 )
+//
+// whenever the premise holds, the bindings of the two designated
+// variables must be the same node. EGDs complement tgds in
+// characterizing schema constraints; the paper's transformations are
+// driven by tgds, so EGDs participate only in instance validation here.
+type EGD struct {
+	Name    string
+	Premise []Atom
+	// X1 and X2 are the variables forced equal.
+	X1, X2 Var
+}
+
+// NewEGD is a convenience constructor.
+func NewEGD(name string, premise []Atom, x1, x2 Var) EGD {
+	return EGD{Name: name, Premise: premise, X1: x1, X2: x2}
+}
+
+// String renders the egd.
+func (e EGD) String() string {
+	parts := make([]string, len(e.Premise))
+	for i, a := range e.Premise {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s: %s -> %s = %s", e.Name, strings.Join(parts, " ∧ "), e.X1, e.X2)
+}
+
+// Check enumerates premise bindings over the evaluator's graph and
+// reports up to max violations (bindings where X1 ≠ X2). A non-positive
+// max collects all.
+func (e EGD) Check(ev *eval.Evaluator, max int) []Violation {
+	var out []Violation
+	EnumerateBindings(ev, e.Premise, func(b map[Var]graph.NodeID) bool {
+		v1, ok1 := b[e.X1]
+		v2, ok2 := b[e.X2]
+		if !ok1 || !ok2 || v1 != v2 {
+			out = append(out, Violation{Constraint: e.Name, Binding: cloneBinding(b)})
+			return max <= 0 || len(out) < max
+		}
+		return true
+	})
+	return out
+}
+
+// Satisfied reports whether g satisfies the egd.
+func (e EGD) Satisfied(g *graph.Graph) bool {
+	return len(e.Check(eval.New(g), 1)) == 0
+}
+
+// FunctionalDependency builds the egd stating that label l is
+// functional: a node has at most one outgoing l-edge target,
+// (x, l, y1) ∧ (x, l, y2) → y1 = y2. Functional and multi-valued
+// dependencies are the classic special cases the paper notes egds
+// generalize.
+func FunctionalDependency(name, label string) EGD {
+	return NewEGD(name,
+		[]Atom{At("x", label, "y1"), At("x", label, "y2")},
+		"y1", "y2")
+}

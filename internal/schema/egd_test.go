@@ -1,0 +1,95 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"relsim/internal/eval"
+	"relsim/internal/graph"
+)
+
+func TestEGDSatisfied(t *testing.T) {
+	// Each paper has exactly one proceedings: p-in is functional.
+	g := graph.New()
+	c1 := g.AddNode("c1", "proc")
+	c2 := g.AddNode("c2", "proc")
+	p1 := g.AddNode("p1", "paper")
+	p2 := g.AddNode("p2", "paper")
+	g.AddEdge(p1, "p-in", c1)
+	g.AddEdge(p2, "p-in", c2)
+
+	fd := FunctionalDependency("fd-p-in", "p-in")
+	if !fd.Satisfied(g) {
+		t.Fatalf("fd must hold: %v", fd.Check(eval.New(g), 0))
+	}
+
+	// A second proceedings for p1 violates it.
+	g.AddEdge(p1, "p-in", c2)
+	if fd.Satisfied(g) {
+		t.Fatal("fd must be violated after the second p-in edge")
+	}
+	vs := fd.Check(eval.New(g), 0)
+	if len(vs) == 0 {
+		t.Fatal("expected violations")
+	}
+	// Violation mentions the constraint name.
+	if !strings.Contains(vs[0].String(), "fd-p-in") {
+		t.Errorf("violation string %q", vs[0])
+	}
+}
+
+func TestEGDMaxViolations(t *testing.T) {
+	g := graph.New()
+	p := g.AddNode("p", "paper")
+	for i := 0; i < 4; i++ {
+		c := g.AddNode("", "proc")
+		g.AddEdge(p, "p-in", c)
+	}
+	fd := FunctionalDependency("fd", "p-in")
+	if got := fd.Check(eval.New(g), 2); len(got) != 2 {
+		t.Errorf("Check(max=2) = %d violations", len(got))
+	}
+	all := fd.Check(eval.New(g), 0)
+	if len(all) < 3 {
+		t.Errorf("Check(all) = %d violations, want several", len(all))
+	}
+}
+
+func TestEGDGeneralPremise(t *testing.T) {
+	// Papers sharing a proceedings must share their (unique) area node:
+	// (p1, p-in, c) ∧ (p2, p-in, c) ∧ (p1, r-a, a1) ∧ (p2, r-a, a2) → a1 = a2.
+	g := graph.New()
+	a1 := g.AddNode("a1", "area")
+	a2 := g.AddNode("a2", "area")
+	c := g.AddNode("c", "proc")
+	p1 := g.AddNode("p1", "paper")
+	p2 := g.AddNode("p2", "paper")
+	g.AddEdge(p1, "p-in", c)
+	g.AddEdge(p2, "p-in", c)
+	g.AddEdge(p1, "r-a", a1)
+	g.AddEdge(p2, "r-a", a1)
+
+	e := NewEGD("same-area",
+		[]Atom{
+			At("p1", "p-in", "c"),
+			At("p2", "p-in", "c"),
+			At("p1", "r-a", "x1"),
+			At("p2", "r-a", "x2"),
+		},
+		"x1", "x2")
+	if !e.Satisfied(g) {
+		t.Fatal("egd must hold while areas agree")
+	}
+	g.AddEdge(p2, "r-a", a2)
+	if e.Satisfied(g) {
+		t.Fatal("egd must fail when p2 gains a different area")
+	}
+}
+
+func TestEGDString(t *testing.T) {
+	e := FunctionalDependency("fd", "l")
+	s := e.String()
+	if !strings.Contains(s, "y1 = y2") || !strings.Contains(s, "fd") {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,259 @@
+package schema
+
+import (
+	"fmt"
+	"sort"
+
+	"relsim/internal/rre"
+)
+
+// PremiseEdge is one edge of a premise graph: a directed, pattern-labeled
+// edge between two premise variables.
+type PremiseEdge struct {
+	From, To Var
+	Path     *rre.Pattern // single-step RPQ (label or reversed label)
+}
+
+// PremiseGraph is the premise graph G_pre(γ) of a constraint (§5): nodes
+// are premise variables and edges are the premise atoms. The graph keeps
+// direction (needed to orient traversals) but acyclicity is judged on the
+// undirected version, per the paper.
+type PremiseGraph struct {
+	Vars  []Var
+	Edges []PremiseEdge
+
+	adj map[Var][]int // incident edge indices, both directions
+}
+
+// PremiseGraphOf builds the premise graph of c after normalizing
+// concatenated premise paths into single-step atoms.
+func PremiseGraphOf(c Constraint) *PremiseGraph {
+	n := c.NormalizePremise()
+	g := &PremiseGraph{adj: map[Var][]int{}}
+	seen := map[Var]bool{}
+	addVar := func(v Var) {
+		if !seen[v] {
+			seen[v] = true
+			g.Vars = append(g.Vars, v)
+		}
+	}
+	for _, a := range n.Premise {
+		addVar(a.From)
+		addVar(a.To)
+		idx := len(g.Edges)
+		g.Edges = append(g.Edges, PremiseEdge{From: a.From, To: a.To, Path: a.Path})
+		g.adj[a.From] = append(g.adj[a.From], idx)
+		if a.To != a.From {
+			g.adj[a.To] = append(g.adj[a.To], idx)
+		}
+	}
+	sort.Slice(g.Vars, func(i, j int) bool { return g.Vars[i] < g.Vars[j] })
+	return g
+}
+
+// Incident returns the indices of edges incident to v (either endpoint).
+func (g *PremiseGraph) Incident(v Var) []int { return g.adj[v] }
+
+// Degree returns the undirected degree of v.
+func (g *PremiseGraph) Degree(v Var) int { return len(g.adj[v]) }
+
+// IsAcyclic reports whether the undirected premise graph has no cycle
+// (Theorem 2's prerequisite). Self-loops and parallel edges count as
+// cycles.
+func (g *PremiseGraph) IsAcyclic() bool {
+	parent := map[Var]Var{}
+	var find func(v Var) Var
+	find = func(v Var) Var {
+		p, ok := parent[v]
+		if !ok || p == v {
+			parent[v] = v
+			return v
+		}
+		root := find(p)
+		parent[v] = root
+		return root
+	}
+	for _, e := range g.Edges {
+		ru, rv := find(e.From), find(e.To)
+		if ru == rv {
+			return false
+		}
+		parent[ru] = rv
+	}
+	return true
+}
+
+// Connected reports whether u and v lie in the same undirected component.
+func (g *PremiseGraph) Connected(u, v Var) bool {
+	if u == v {
+		return true
+	}
+	seen := map[Var]bool{u: true}
+	stack := []Var{u}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ei := range g.adj[x] {
+			e := g.Edges[ei]
+			for _, y := range []Var{e.From, e.To} {
+				if !seen[y] {
+					if y == v {
+						return true
+					}
+					seen[y] = true
+					stack = append(stack, y)
+				}
+			}
+		}
+	}
+	return false
+}
+
+// TraversalStep is one undirected step across a premise edge: the edge
+// index plus whether it is crossed against its direction (yielding a
+// reversed pattern step).
+type TraversalStep struct {
+	EdgeIdx int
+	Against bool
+}
+
+// Pattern returns the RRE step for crossing the edge in the traversal's
+// direction.
+func (g *PremiseGraph) stepPattern(s TraversalStep) *rre.Pattern {
+	p := g.Edges[s.EdgeIdx].Path
+	if s.Against {
+		return rre.Rev(p)
+	}
+	return p
+}
+
+// PathBetween returns the unique undirected simple path from u to v as
+// traversal steps. ok is false if u and v are disconnected. It panics if
+// the graph is cyclic (the path would not be unique).
+func (g *PremiseGraph) PathBetween(u, v Var) (steps []TraversalStep, ok bool) {
+	if !g.IsAcyclic() {
+		panic("schema: PathBetween requires an acyclic premise graph")
+	}
+	if u == v {
+		return nil, true
+	}
+	type state struct {
+		at   Var
+		path []TraversalStep
+	}
+	seen := map[Var]bool{u: true}
+	queue := []state{{at: u}}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, ei := range g.adj[s.at] {
+			e := g.Edges[ei]
+			var next Var
+			var against bool
+			if e.From == s.at {
+				next, against = e.To, false
+			} else {
+				next, against = e.From, true
+			}
+			if seen[next] {
+				continue
+			}
+			np := append(append([]TraversalStep(nil), s.path...), TraversalStep{EdgeIdx: ei, Against: against})
+			if next == v {
+				return np, true
+			}
+			seen[next] = true
+			queue = append(queue, state{at: next, path: np})
+		}
+	}
+	return nil, false
+}
+
+// PathPattern renders a traversal-step sequence as a simple RRE pattern.
+func (g *PremiseGraph) PathPattern(steps []TraversalStep) *rre.Pattern {
+	if len(steps) == 0 {
+		return rre.Eps()
+	}
+	ps := make([]*rre.Pattern, len(steps))
+	for i, s := range steps {
+		ps[i] = g.stepPattern(s)
+	}
+	return rre.Concat(ps...)
+}
+
+// MatchSimplePath finds all (v_g, v_h) variable pairs such that the step
+// sequence (a contiguous fragment of a simple input pattern) is realized
+// as a directed walk in the premise graph: step k with label l crosses an
+// edge labeled l forward, and a reversed step crosses it against its
+// direction. Walks may not reuse an edge.
+func (g *PremiseGraph) MatchSimplePath(steps []rre.Step) []PathMatch {
+	var out []PathMatch
+	if len(steps) == 0 {
+		return nil
+	}
+	usedEdges := make([]bool, len(g.Edges))
+	var walk []TraversalStep
+	var rec func(at Var, k int, start Var)
+	rec = func(at Var, k int, start Var) {
+		if k == len(steps) {
+			out = append(out, PathMatch{From: start, To: at, Steps: append([]TraversalStep(nil), walk...)})
+			return
+		}
+		want := steps[k]
+		for _, ei := range g.adj[at] {
+			if usedEdges[ei] {
+				continue
+			}
+			e := g.Edges[ei]
+			lbl, isLabel := singleLabel(e.Path)
+			if !isLabel || lbl != want.Label {
+				continue
+			}
+			var next Var
+			var against bool
+			switch {
+			case !want.Reverse && e.From == at:
+				next, against = e.To, false
+			case want.Reverse && e.To == at:
+				next, against = e.From, true
+			default:
+				continue
+			}
+			usedEdges[ei] = true
+			walk = append(walk, TraversalStep{EdgeIdx: ei, Against: against})
+			rec(next, k+1, start)
+			walk = walk[:len(walk)-1]
+			usedEdges[ei] = false
+		}
+	}
+	for _, v := range g.Vars {
+		rec(v, 0, v)
+	}
+	return out
+}
+
+// PathMatch is one realization of a simple-pattern fragment inside a
+// premise graph.
+type PathMatch struct {
+	From, To Var
+	Steps    []TraversalStep
+}
+
+func singleLabel(p *rre.Pattern) (string, bool) {
+	if p.Kind() == rre.KindLabel {
+		return p.LabelName(), true
+	}
+	return "", false
+}
+
+// String renders the premise graph for diagnostics.
+func (g *PremiseGraph) String() string {
+	s := ""
+	for i, e := range g.Edges {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s -%s-> %s", e.From, e.Path, e.To)
+	}
+	return s
+}

@@ -1,0 +1,452 @@
+// Package schema implements graph schemas and tgd constraints (paper §2).
+//
+// A schema is a finite label set plus a finite set of constraints. A
+// constraint is a full tuple-generating dependency (tgd) whose premise is
+// a conjunctive RPQ and whose conclusion is a single atom over one label
+// (possibly reversed):
+//
+//	φ(x̄) → (x1, l, x2)
+//
+// The package also provides the premise graph of a constraint (§5), the
+// acyclicity test required by Theorem 2, the trivial-constraint and
+// easy-constraint classification of §6, and constraint checking against
+// database instances.
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"relsim/internal/eval"
+	"relsim/internal/graph"
+	"relsim/internal/rre"
+)
+
+// Var is a variable name in a constraint or mapping rule.
+type Var string
+
+// Atom is a single atom (from, path, to) of a conjunctive RPQ: path is
+// an RPQ/RRE relating the binding of From to the binding of To.
+type Atom struct {
+	From Var
+	Path *rre.Pattern
+	To   Var
+}
+
+// String renders the atom as "(x, path, y)".
+func (a Atom) String() string {
+	return fmt.Sprintf("(%s, %s, %s)", a.From, a.Path, a.To)
+}
+
+// A constrains instances of a schema: whenever the premise holds under
+// some variable binding, the conclusion must hold under the same binding.
+type Constraint struct {
+	// Name identifies the constraint in diagnostics.
+	Name string
+	// Premise is the conjunctive RPQ φ(x̄).
+	Premise []Atom
+	// Conclusion is the single concluded atom. Its Path must be a single
+	// label or a reversed label.
+	Conclusion Atom
+}
+
+// TGD is a convenience constructor. The conclusion path is parsed from
+// the concrete RRE syntax and must be a label or reversed label.
+func TGD(name string, premise []Atom, from Var, conclusionPath string, to Var) Constraint {
+	p := rre.MustParse(conclusionPath)
+	c := Constraint{Name: name, Premise: premise, Conclusion: Atom{From: from, Path: p, To: to}}
+	if _, ok := c.ConclusionLabel(); !ok {
+		panic(fmt.Sprintf("schema: conclusion %q of %s is not a (possibly reversed) label", conclusionPath, name))
+	}
+	return c
+}
+
+// At is a convenience constructor for an Atom; path is parsed from the
+// concrete RRE syntax.
+func At(from Var, path string, to Var) Atom {
+	return Atom{From: from, Path: rre.MustParse(path), To: to}
+}
+
+// String renders the constraint as "premise -> conclusion".
+func (c Constraint) String() string {
+	parts := make([]string, len(c.Premise))
+	for i, a := range c.Premise {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s: %s -> %s", c.Name, strings.Join(parts, " ∧ "), c.Conclusion)
+}
+
+// ConclusionLabel returns the label of the conclusion atom and whether the
+// conclusion is well-formed (a single label, possibly reversed). For a
+// reversed conclusion (x, l⁻, y) the label returned is l.
+func (c Constraint) ConclusionLabel() (string, bool) {
+	p := c.Conclusion.Path
+	switch p.Kind() {
+	case rre.KindLabel:
+		return p.LabelName(), true
+	case rre.KindRev:
+		if s := p.Subs()[0]; s.Kind() == rre.KindLabel {
+			return s.LabelName(), true
+		}
+	}
+	return "", false
+}
+
+// Vars returns the sorted set of variables used in the constraint.
+func (c Constraint) Vars() []Var {
+	set := map[Var]bool{}
+	for _, a := range c.Premise {
+		set[a.From] = true
+		set[a.To] = true
+	}
+	set[c.Conclusion.From] = true
+	set[c.Conclusion.To] = true
+	vs := make([]Var, 0, len(set))
+	for v := range set {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	return vs
+}
+
+// PremiseLabels returns the sorted set of labels used in the premise.
+func (c Constraint) PremiseLabels() []string {
+	set := map[string]bool{}
+	for _, a := range c.Premise {
+		for _, l := range a.Path.Labels() {
+			set[l] = true
+		}
+	}
+	ls := make([]string, 0, len(set))
+	for l := range set {
+		ls = append(ls, l)
+	}
+	sort.Strings(ls)
+	return ls
+}
+
+// IsTrivial reports whether the constraint is trivial in the §6.1 sense:
+// its premise is a single atom logically identical to its conclusion
+// (up to variable naming), so it imposes no restriction on instances.
+func (c Constraint) IsTrivial() bool {
+	if len(c.Premise) != 1 {
+		return false
+	}
+	a := c.Premise[0]
+	if a.From == c.Conclusion.From && a.To == c.Conclusion.To && a.Path.Equal(c.Conclusion.Path) {
+		return true
+	}
+	// (y, l⁻, x) → (x, l, y) is also trivial.
+	if a.From == c.Conclusion.To && a.To == c.Conclusion.From && a.Path.Equal(rre.Rev(c.Conclusion.Path)) {
+		return true
+	}
+	return false
+}
+
+// IsEasy reports whether the constraint only induces "easy"
+// transformations (§6.2): its conclusion label does not occur in its
+// premise. Per Theorem 4 and Proposition 6, such constraints cannot
+// drive a non-renaming restructuring of the labels a simple pattern
+// uses, so Algorithm 1 skips them.
+func (c Constraint) IsEasy() bool {
+	l, ok := c.ConclusionLabel()
+	if !ok {
+		return true
+	}
+	for _, pl := range c.PremiseLabels() {
+		if pl == l {
+			return false
+		}
+	}
+	return true
+}
+
+// NormalizePremise rewrites each premise atom whose path is a
+// concatenation e1·e2·…·ek into a chain of single-step atoms through
+// fresh variables, as required before building the premise graph (§5).
+func (c Constraint) NormalizePremise() Constraint {
+	out := Constraint{Name: c.Name, Conclusion: c.Conclusion}
+	fresh := 0
+	emit := func(a Atom) {
+		// Canonicalize reversed-label atoms: (x, l⁻, y) becomes (y, l, x).
+		if a.Path.Kind() == rre.KindRev && a.Path.Subs()[0].Kind() == rre.KindLabel {
+			a = Atom{From: a.To, Path: a.Path.Subs()[0], To: a.From}
+		}
+		out.Premise = append(out.Premise, a)
+	}
+	for _, a := range c.Premise {
+		if a.Path.Kind() != rre.KindConcat {
+			emit(a)
+			continue
+		}
+		cur := a.From
+		subs := a.Path.Subs()
+		for i, s := range subs {
+			to := a.To
+			if i < len(subs)-1 {
+				fresh++
+				to = Var(fmt.Sprintf("_%s_n%d", c.Name, fresh))
+			}
+			emit(Atom{From: cur, Path: s, To: to})
+			cur = to
+		}
+	}
+	return out
+}
+
+// Schema is a finite label set together with its constraints.
+type Schema struct {
+	Labels      []string
+	Constraints []Constraint
+}
+
+// New returns a schema with the given labels (deduplicated and sorted)
+// and constraints.
+func New(labels []string, constraints ...Constraint) *Schema {
+	set := map[string]bool{}
+	for _, l := range labels {
+		set[l] = true
+	}
+	ls := make([]string, 0, len(set))
+	for l := range set {
+		ls = append(ls, l)
+	}
+	sort.Strings(ls)
+	return &Schema{Labels: ls, Constraints: constraints}
+}
+
+// HasLabel reports whether l is a schema label.
+func (s *Schema) HasLabel(l string) bool {
+	for _, x := range s.Labels {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// NonTrivial returns the constraints that are neither trivial nor easy,
+// i.e. the ones Algorithm 1 considers after the §6 filters.
+func (s *Schema) NonTrivial() []Constraint {
+	var out []Constraint
+	for _, c := range s.Constraints {
+		if c.IsTrivial() || c.IsEasy() {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// Violation describes one failed constraint binding.
+type Violation struct {
+	Constraint string
+	Binding    map[Var]graph.NodeID
+}
+
+func (v Violation) String() string {
+	vars := make([]string, 0, len(v.Binding))
+	for x := range v.Binding {
+		vars = append(vars, string(x))
+	}
+	sort.Strings(vars)
+	parts := make([]string, len(vars))
+	for i, x := range vars {
+		parts[i] = fmt.Sprintf("%s=%d", x, v.Binding[Var(x)])
+	}
+	return fmt.Sprintf("%s violated at {%s}", v.Constraint, strings.Join(parts, " "))
+}
+
+// Check verifies every constraint of the schema against g, returning up
+// to maxViolations violations (maxViolations <= 0 means collect all).
+func (s *Schema) Check(g *graph.Graph, maxViolations int) []Violation {
+	ev := eval.New(g)
+	var out []Violation
+	for _, c := range s.Constraints {
+		out = append(out, CheckConstraint(ev, c, maxViolations-len(out))...)
+		if maxViolations > 0 && len(out) >= maxViolations {
+			return out[:maxViolations]
+		}
+	}
+	return out
+}
+
+// Satisfied reports whether g satisfies all constraints of the schema.
+func (s *Schema) Satisfied(g *graph.Graph) bool {
+	return len(s.Check(g, 1)) == 0
+}
+
+// CheckConstraint enumerates premise bindings of c over the evaluator's
+// graph and reports those where the conclusion fails. A non-positive max
+// collects all violations.
+func CheckConstraint(ev *eval.Evaluator, c Constraint, max int) []Violation {
+	var out []Violation
+	conclusion := ev.Commuting(c.Conclusion.Path).Boolean()
+	EnumerateBindings(ev, c.Premise, func(b map[Var]graph.NodeID) bool {
+		u, uok := b[c.Conclusion.From]
+		v, vok := b[c.Conclusion.To]
+		if !uok || !vok {
+			// A conclusion variable not bound by the premise can never be
+			// checked; treat as violation of well-formedness.
+			out = append(out, Violation{Constraint: c.Name, Binding: cloneBinding(b)})
+			return max <= 0 || len(out) < max
+		}
+		if conclusion.At(int(u), int(v)) == 0 {
+			out = append(out, Violation{Constraint: c.Name, Binding: cloneBinding(b)})
+			return max <= 0 || len(out) < max
+		}
+		return true
+	})
+	return out
+}
+
+func cloneBinding(b map[Var]graph.NodeID) map[Var]graph.NodeID {
+	c := make(map[Var]graph.NodeID, len(b))
+	for k, v := range b {
+		c[k] = v
+	}
+	return c
+}
+
+// EnumerateBindings enumerates all bindings of the variables of the
+// conjunctive RPQ given by atoms over the evaluator's graph, invoking fn
+// for each complete binding. fn returning false stops the enumeration.
+//
+// Atoms are joined with a backtracking search that always extends a
+// connected frontier when possible, using commuting matrices as the atom
+// relations.
+func EnumerateBindings(ev *eval.Evaluator, atoms []Atom, fn func(map[Var]graph.NodeID) bool) {
+	EnumerateBindingsWith(ev, atoms, nil, fn)
+}
+
+// EnumerateBindingsWith is EnumerateBindings with some variables fixed in
+// advance by initial. The initial map is not modified.
+func EnumerateBindingsWith(ev *eval.Evaluator, atoms []Atom, initial map[Var]graph.NodeID, fn func(map[Var]graph.NodeID) bool) {
+	if len(atoms) == 0 {
+		if len(initial) > 0 {
+			fn(initial)
+		}
+		return
+	}
+	type rel struct {
+		atom Atom
+		fwd  map[graph.NodeID][]graph.NodeID // From -> To values
+		rev  map[graph.NodeID][]graph.NodeID // To -> From values
+	}
+	rels := make([]rel, len(atoms))
+	for i, a := range atoms {
+		m := ev.Commuting(a.Path).Boolean()
+		r := rel{atom: a, fwd: map[graph.NodeID][]graph.NodeID{}, rev: map[graph.NodeID][]graph.NodeID{}}
+		m.Each(func(row, col int, _ int64) {
+			r.fwd[graph.NodeID(row)] = append(r.fwd[graph.NodeID(row)], graph.NodeID(col))
+			r.rev[graph.NodeID(col)] = append(r.rev[graph.NodeID(col)], graph.NodeID(row))
+		})
+		rels[i] = r
+	}
+
+	// Order atoms so each one (after the first) shares a variable with the
+	// already-processed prefix (or an initially bound variable) whenever
+	// the premise is connected.
+	order := make([]int, 0, len(rels))
+	used := make([]bool, len(rels))
+	bound := map[Var]bool{}
+	for v := range initial {
+		bound[v] = true
+	}
+	for len(order) < len(rels) {
+		pick := -1
+		for i := range rels {
+			if used[i] {
+				continue
+			}
+			if len(order) == 0 || bound[rels[i].atom.From] || bound[rels[i].atom.To] {
+				pick = i
+				break
+			}
+		}
+		if pick == -1 { // disconnected premise: take any remaining atom
+			for i := range rels {
+				if !used[i] {
+					pick = i
+					break
+				}
+			}
+		}
+		used[pick] = true
+		order = append(order, pick)
+		bound[rels[pick].atom.From] = true
+		bound[rels[pick].atom.To] = true
+	}
+
+	binding := map[Var]graph.NodeID{}
+	for v, id := range initial {
+		binding[v] = id
+	}
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == len(order) {
+			return fn(binding)
+		}
+		r := rels[order[k]]
+		fromV, fromBound := binding[r.atom.From]
+		toV, toBound := binding[r.atom.To]
+		try := func(f, t graph.NodeID) bool {
+			if !fromBound {
+				binding[r.atom.From] = f
+			}
+			// Guard against From == To atoms binding the same variable twice
+			// with conflicting values.
+			if r.atom.From == r.atom.To && f != t {
+				if !fromBound {
+					delete(binding, r.atom.From)
+				}
+				return true
+			}
+			if !toBound && r.atom.From != r.atom.To {
+				binding[r.atom.To] = t
+			}
+			ok := rec(k + 1)
+			if !fromBound {
+				delete(binding, r.atom.From)
+			}
+			if !toBound && r.atom.From != r.atom.To {
+				delete(binding, r.atom.To)
+			}
+			return ok
+		}
+		switch {
+		case fromBound && toBound:
+			for _, t := range r.fwd[fromV] {
+				if t == toV {
+					return rec(k + 1)
+				}
+			}
+			return true
+		case fromBound:
+			for _, t := range r.fwd[fromV] {
+				if !try(fromV, t) {
+					return false
+				}
+			}
+			return true
+		case toBound:
+			for _, f := range r.rev[toV] {
+				if !try(f, toV) {
+					return false
+				}
+			}
+			return true
+		default:
+			for f, ts := range r.fwd {
+				for _, t := range ts {
+					if !try(f, t) {
+						return false
+					}
+				}
+			}
+			return true
+		}
+	}
+	rec(0)
+}

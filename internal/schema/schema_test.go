@@ -1,0 +1,434 @@
+package schema
+
+import (
+	"testing"
+
+	"relsim/internal/eval"
+	"relsim/internal/graph"
+	"relsim/internal/rre"
+)
+
+// dblpConstraint is Example 1's tgd: papers published in the same
+// conference share research areas.
+func dblpConstraint() Constraint {
+	return TGD("dblp-area",
+		[]Atom{
+			At("p1", "area", "a"),
+			At("p1", "pub-in", "c"),
+			At("p2", "pub-in", "c"),
+		},
+		"p2", "area", "a")
+}
+
+// satisfyingGraph builds an instance where the constraint holds.
+func satisfyingGraph() *graph.Graph {
+	g := graph.New()
+	a1 := g.AddNode("a1", "area")
+	a2 := g.AddNode("a2", "area")
+	c := g.AddNode("c", "proc")
+	p1 := g.AddNode("p1", "paper")
+	p2 := g.AddNode("p2", "paper")
+	for _, p := range []graph.NodeID{p1, p2} {
+		g.AddEdge(p, "pub-in", c)
+		g.AddEdge(p, "area", a1)
+		g.AddEdge(p, "area", a2)
+	}
+	return g
+}
+
+func TestConstraintSatisfied(t *testing.T) {
+	g := satisfyingGraph()
+	s := New([]string{"area", "pub-in"}, dblpConstraint())
+	if !s.Satisfied(g) {
+		t.Fatalf("constraint must hold: %v", s.Check(g, 0))
+	}
+}
+
+func TestConstraintViolated(t *testing.T) {
+	g := satisfyingGraph()
+	// A third paper in the same conference without the areas violates it.
+	p3 := g.AddNode("p3", "paper")
+	c, _ := g.NodeByName("c")
+	g.AddEdge(p3, "pub-in", c.ID)
+	s := New([]string{"area", "pub-in"}, dblpConstraint())
+	if s.Satisfied(g) {
+		t.Fatal("constraint must be violated")
+	}
+	vs := s.Check(g, 0)
+	if len(vs) == 0 {
+		t.Fatal("expected violations")
+	}
+	// maxViolations must bound the result.
+	if got := s.Check(g, 1); len(got) != 1 {
+		t.Errorf("Check(max=1) returned %d", len(got))
+	}
+}
+
+func TestConclusionLabel(t *testing.T) {
+	c := dblpConstraint()
+	l, ok := c.ConclusionLabel()
+	if !ok || l != "area" {
+		t.Errorf("ConclusionLabel = %q, %v", l, ok)
+	}
+	rev := Constraint{
+		Name:       "rev",
+		Premise:    []Atom{At("x", "a", "y")},
+		Conclusion: Atom{From: "y", Path: rre.MustParse("b-"), To: "x"},
+	}
+	l, ok = rev.ConclusionLabel()
+	if !ok || l != "b" {
+		t.Errorf("reversed ConclusionLabel = %q, %v", l, ok)
+	}
+	bad := Constraint{Conclusion: Atom{From: "x", Path: rre.MustParse("a.b"), To: "y"}}
+	if _, ok := bad.ConclusionLabel(); ok {
+		t.Error("composite conclusion must not have a label")
+	}
+}
+
+func TestIsTrivial(t *testing.T) {
+	triv := Constraint{
+		Name:       "t",
+		Premise:    []Atom{At("x", "a", "y")},
+		Conclusion: Atom{From: "x", Path: rre.Label("a"), To: "y"},
+	}
+	if !triv.IsTrivial() {
+		t.Error("x-a-y → x-a-y must be trivial")
+	}
+	flipped := Constraint{
+		Name:       "f",
+		Premise:    []Atom{At("y", "a-", "x")},
+		Conclusion: Atom{From: "x", Path: rre.Label("a"), To: "y"},
+	}
+	if !flipped.IsTrivial() {
+		t.Error("(y,a⁻,x) → (x,a,y) must be trivial")
+	}
+	if dblpConstraint().IsTrivial() {
+		t.Error("the DBLP constraint is not trivial")
+	}
+}
+
+func TestIsEasy(t *testing.T) {
+	if dblpConstraint().IsEasy() {
+		t.Error("DBLP constraint concludes a premise label: not easy")
+	}
+	easy := TGD("e",
+		[]Atom{At("x", "a", "z"), At("z", "b", "y")},
+		"x", "c", "y")
+	if !easy.IsEasy() {
+		t.Error("constraint concluding a fresh label must be easy")
+	}
+}
+
+func TestNonTrivial(t *testing.T) {
+	s := New([]string{"a", "b", "c"},
+		Constraint{Name: "triv", Premise: []Atom{At("x", "a", "y")},
+			Conclusion: Atom{From: "x", Path: rre.Label("a"), To: "y"}},
+		TGD("easy", []Atom{At("x", "a", "y")}, "x", "c", "y"),
+		TGD("real", []Atom{At("x", "a", "z"), At("z", "a", "y")}, "x", "a", "y"),
+	)
+	nt := s.NonTrivial()
+	if len(nt) != 1 || nt[0].Name != "real" {
+		t.Errorf("NonTrivial = %v", nt)
+	}
+}
+
+func TestNormalizePremise(t *testing.T) {
+	c := Constraint{
+		Name:       "n",
+		Premise:    []Atom{At("x", "a.b", "y"), At("u", "c-", "v")},
+		Conclusion: Atom{From: "x", Path: rre.Label("a"), To: "y"},
+	}
+	n := c.NormalizePremise()
+	if len(n.Premise) != 3 {
+		t.Fatalf("normalized premise has %d atoms, want 3", len(n.Premise))
+	}
+	// Concatenation split through a fresh variable.
+	if n.Premise[0].From != "x" || n.Premise[1].To != "y" {
+		t.Errorf("split atoms miswired: %v", n.Premise)
+	}
+	// Reversed atom flipped to forward orientation.
+	last := n.Premise[2]
+	if last.From != "v" || last.To != "u" || last.Path.LabelName() != "c" {
+		t.Errorf("reversed atom not canonicalized: %v", last)
+	}
+}
+
+func TestEnumerateBindings(t *testing.T) {
+	g := satisfyingGraph()
+	ev := eval.New(g)
+	var count int
+	EnumerateBindings(ev, []Atom{At("p", "pub-in", "c")}, func(b map[Var]graph.NodeID) bool {
+		count++
+		return true
+	})
+	if count != 2 {
+		t.Errorf("pub-in bindings = %d, want 2", count)
+	}
+	// Join across two atoms.
+	count = 0
+	EnumerateBindings(ev, []Atom{
+		At("p", "pub-in", "c"),
+		At("p", "area", "a"),
+	}, func(b map[Var]graph.NodeID) bool {
+		count++
+		return true
+	})
+	if count != 4 { // 2 papers × 2 areas
+		t.Errorf("join bindings = %d, want 4", count)
+	}
+}
+
+func TestEnumerateBindingsEarlyStop(t *testing.T) {
+	g := satisfyingGraph()
+	ev := eval.New(g)
+	count := 0
+	EnumerateBindings(ev, []Atom{At("p", "area", "a")}, func(map[Var]graph.NodeID) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Errorf("early stop visited %d bindings, want 1", count)
+	}
+}
+
+func TestEnumerateBindingsWith(t *testing.T) {
+	g := satisfyingGraph()
+	ev := eval.New(g)
+	p1, _ := g.NodeByName("p1")
+	count := 0
+	EnumerateBindingsWith(ev, []Atom{At("p", "area", "a")},
+		map[Var]graph.NodeID{"p": p1.ID},
+		func(b map[Var]graph.NodeID) bool {
+			if b["p"] != p1.ID {
+				t.Errorf("binding ignored the initial assignment: %v", b)
+			}
+			count++
+			return true
+		})
+	if count != 2 {
+		t.Errorf("bindings with fixed p = %d, want 2", count)
+	}
+}
+
+func TestEnumerateBindingsSelfLoopAtom(t *testing.T) {
+	g := graph.New()
+	u := g.AddNode("u", "")
+	v := g.AddNode("v", "")
+	g.AddEdge(u, "l", u) // self loop
+	g.AddEdge(u, "l", v)
+	ev := eval.New(g)
+	count := 0
+	EnumerateBindings(ev, []Atom{At("x", "l", "x")}, func(b map[Var]graph.NodeID) bool {
+		if b["x"] != u {
+			t.Errorf("self-loop binding = %v, want u", b)
+		}
+		count++
+		return true
+	})
+	if count != 1 {
+		t.Errorf("self-loop bindings = %d, want 1", count)
+	}
+}
+
+func TestPremiseGraph(t *testing.T) {
+	pg := PremiseGraphOf(dblpConstraint())
+	if len(pg.Vars) != 4 {
+		t.Fatalf("premise graph vars = %d, want 4", len(pg.Vars))
+	}
+	if len(pg.Edges) != 3 {
+		t.Fatalf("premise graph edges = %d, want 3", len(pg.Edges))
+	}
+	if !pg.IsAcyclic() {
+		t.Error("DBLP premise graph is a tree")
+	}
+	if !pg.Connected("p1", "p2") {
+		t.Error("p1 and p2 are connected through c")
+	}
+}
+
+func TestPremiseGraphCycle(t *testing.T) {
+	c := TGD("cyc",
+		[]Atom{At("x", "a", "y"), At("y", "b", "z"), At("x", "c", "z")},
+		"x", "a", "z")
+	pg := PremiseGraphOf(c)
+	if pg.IsAcyclic() {
+		t.Error("triangle premise must be cyclic")
+	}
+}
+
+func TestPathBetween(t *testing.T) {
+	pg := PremiseGraphOf(dblpConstraint())
+	steps, ok := pg.PathBetween("a", "c")
+	if !ok {
+		t.Fatal("a and c must be connected")
+	}
+	p := pg.PathPattern(steps)
+	if p.String() != "area-.pub-in" {
+		t.Errorf("path a→c = %s, want area-.pub-in", p)
+	}
+	if _, ok := pg.PathBetween("a", "zz"); ok {
+		t.Error("unknown variable must be unreachable")
+	}
+}
+
+func TestMatchSimplePath(t *testing.T) {
+	pg := PremiseGraphOf(dblpConstraint())
+	// area⁻ · pub-in occurs from a to c.
+	steps, _ := rre.MustParse("area-.pub-in").Steps()
+	ms := pg.MatchSimplePath(steps)
+	found := false
+	for _, m := range ms {
+		if m.From == "a" && m.To == "c" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("match a→c not found in %v", ms)
+	}
+	// A label not in the premise matches nothing.
+	steps2, _ := rre.MustParse("zzz").Steps()
+	if got := pg.MatchSimplePath(steps2); len(got) != 0 {
+		t.Errorf("unexpected matches %v", got)
+	}
+}
+
+// TestTraversalsPaperExample reproduces the §5 example: for the premise
+// graph v1 -area→ v3 -pub-in→ v4 ←pub-in- v2 and the simple pattern
+// area·pub-in, the traversals from v1 (a's source variable) to v4 must
+// include a·p, ⌈⌈a·p⌋⌋, a·p·[p⁻] and ⌈⌈a·p⌋⌋·[p⁻].
+func TestTraversalsPaperExample(t *testing.T) {
+	c := TGD("γ1",
+		[]Atom{
+			At("v1", "area", "v3"),
+			At("v3", "pub-in", "v4"),
+			At("v2", "pub-in", "v4"),
+		},
+		"v1", "area", "v2")
+	pg := PremiseGraphOf(c)
+	ts := pg.Traversals("v1", "v4", TraversalOptions{AllSubgraphs: true, SkipVariants: true})
+	got := map[string]bool{}
+	for _, p := range ts {
+		got[p.String()] = true
+	}
+	want := []string{
+		"area.pub-in",
+		"<area.pub-in>",
+		"area.pub-in.[pub-in-]",
+		"<area.pub-in>.[pub-in-]",
+	}
+	for _, w := range want {
+		if !got[w] {
+			t.Errorf("missing traversal %q; got %v", w, keys(got))
+		}
+	}
+}
+
+func keys(m map[string]bool) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+func TestCanonicalTraversal(t *testing.T) {
+	c := dblpConstraint()
+	pg := PremiseGraphOf(c)
+	// From p2 to a: main path p2 -pub-in→ c ←pub-in- p1 -area→ a.
+	p, ok := pg.CanonicalTraversal("p2", "a")
+	if !ok {
+		t.Fatal("p2 and a are connected")
+	}
+	if p.String() != "pub-in.pub-in-.area" {
+		t.Errorf("canonical traversal = %s", p)
+	}
+	if _, ok := pg.CanonicalTraversal("p2", "nope"); ok {
+		t.Error("disconnected variables must fail")
+	}
+}
+
+func TestTraversalsCap(t *testing.T) {
+	c := TGD("γ",
+		[]Atom{
+			At("v1", "a", "v2"),
+			At("v2", "b", "v3"),
+			At("v2", "c", "v4"),
+			At("v3", "d", "v5"),
+		},
+		"v1", "a", "v3")
+	pg := PremiseGraphOf(c)
+	all := pg.Traversals("v1", "v3", TraversalOptions{AllSubgraphs: true, SkipVariants: true})
+	capped := pg.Traversals("v1", "v3", TraversalOptions{AllSubgraphs: true, SkipVariants: true, MaxPatterns: 2})
+	if len(all) <= 2 {
+		t.Fatalf("expected more than 2 variants, got %d", len(all))
+	}
+	if len(capped) != 2 {
+		t.Errorf("cap ignored: got %d", len(capped))
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Constraint: "c", Binding: map[Var]graph.NodeID{"x": 1, "y": 2}}
+	s := v.String()
+	if s == "" || len(s) < 5 {
+		t.Errorf("Violation.String = %q", s)
+	}
+}
+
+// TestTraversalsLabelsSubset: every traversal only uses labels from the
+// premise, and caps are monotone (capped result is a prefix-subset).
+func TestTraversalsLabelsSubset(t *testing.T) {
+	c := TGD("γ",
+		[]Atom{
+			At("v1", "a", "v2"),
+			At("v2", "b", "v3"),
+			At("v4", "c", "v2"),
+			At("v3", "d", "v5"),
+		},
+		"v1", "a", "v3")
+	pg := PremiseGraphOf(c)
+	all := pg.Traversals("v1", "v3", TraversalOptions{AllSubgraphs: true, SkipVariants: true})
+	if len(all) == 0 {
+		t.Fatal("no traversals")
+	}
+	allowed := map[string]bool{"a": true, "b": true, "c": true, "d": true}
+	seen := map[string]bool{}
+	for _, p := range all {
+		if seen[p.String()] {
+			t.Errorf("duplicate traversal %s", p)
+		}
+		seen[p.String()] = true
+		for _, l := range p.Labels() {
+			if !allowed[l] {
+				t.Errorf("traversal %s uses foreign label %s", p, l)
+			}
+		}
+	}
+	for k := 1; k < len(all); k++ {
+		capped := pg.Traversals("v1", "v3", TraversalOptions{AllSubgraphs: true, SkipVariants: true, MaxPatterns: k})
+		if len(capped) != k {
+			t.Fatalf("cap %d returned %d", k, len(capped))
+		}
+		for i := range capped {
+			if !capped[i].Equal(all[i]) {
+				t.Fatalf("cap %d is not a prefix of the full enumeration", k)
+			}
+		}
+	}
+}
+
+// TestTraversalsDeterministic: repeated enumeration yields the same
+// ordered list.
+func TestTraversalsDeterministic(t *testing.T) {
+	pg := PremiseGraphOf(dblpConstraint())
+	a := pg.Traversals("p2", "a", TraversalOptions{AllSubgraphs: true, SkipVariants: true})
+	b := pg.Traversals("p2", "a", TraversalOptions{AllSubgraphs: true, SkipVariants: true})
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic count")
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatal("nondeterministic order")
+		}
+	}
+}

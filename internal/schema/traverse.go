@@ -1,0 +1,353 @@
+package schema
+
+import (
+	"sort"
+
+	"relsim/internal/rre"
+)
+
+// TraversalOptions controls how Traversals enumerates RRE patterns over a
+// premise graph.
+type TraversalOptions struct {
+	// AllSubgraphs enumerates every connected subgraph H of the premise
+	// graph that contains the main path (Algorithm 2, line 5). When false
+	// only the full premise graph is used, which is what the Theorem 2
+	// pattern rewriting needs.
+	AllSubgraphs bool
+	// SkipVariants additionally emits variants where each maximal simple
+	// segment p is replaced by ⌈⌈p⌋⌋ ("each constructed p_{i,j} can also
+	// be written as ⌈⌈p_{i,j}⌋⌋", §5). When false no skips are inserted.
+	SkipVariants bool
+	// MaxPatterns caps the number of returned patterns; 0 means no cap.
+	MaxPatterns int
+}
+
+// hangEdge is a premise-graph edge off the main path, oriented away from
+// the path: crossing it moves from parent to child.
+type hangEdge struct {
+	edgeIdx int
+	parent  Var
+	child   Var
+}
+
+// Traversals enumerates RRE patterns v_g ↪ v_h that traverse the premise
+// graph from `from` to `to`, visiting each edge of the chosen subgraph
+// once (Algorithm 2's ↪ operation): the unique main path carries the
+// walk, and off-path subtrees are covered by nested detours [·]. The
+// premise graph must be acyclic. Results are deterministic and
+// deduplicated; nil is returned if from and to are disconnected.
+func (g *PremiseGraph) Traversals(from, to Var, opt TraversalOptions) []*rre.Pattern {
+	mainPath, ok := g.PathBetween(from, to)
+	if !ok {
+		return nil
+	}
+	onPath := make([]bool, len(g.Edges))
+	for _, s := range mainPath {
+		onPath[s.EdgeIdx] = true
+	}
+	e := &traversalEnum{g: g, opt: opt, seen: map[string]bool{}}
+	e.run(from, mainPath, onPath)
+	return e.out
+}
+
+type traversalEnum struct {
+	g    *PremiseGraph
+	opt  TraversalOptions
+	out  []*rre.Pattern
+	seen map[string]bool
+}
+
+func (e *traversalEnum) capped() bool {
+	return e.opt.MaxPatterns > 0 && len(e.out) >= e.opt.MaxPatterns
+}
+
+func (e *traversalEnum) emit(p *rre.Pattern) {
+	if e.capped() {
+		return
+	}
+	key := p.String()
+	if e.seen[key] {
+		return
+	}
+	e.seen[key] = true
+	e.out = append(e.out, p)
+}
+
+func (e *traversalEnum) run(from Var, mainPath []TraversalStep, onPath []bool) {
+	g := e.g
+	pathNodes := e.pathNodes(from, mainPath)
+	inPathNode := map[Var]bool{}
+	for _, v := range pathNodes {
+		inPathNode[v] = true
+	}
+
+	// Collect the hanging forest (edges off the main path) rooted at path
+	// nodes, depth-first in edge-index order for determinism.
+	visited := map[Var]bool{}
+	for _, v := range pathNodes {
+		visited[v] = true
+	}
+	var hangs []hangEdge
+	var collect func(v Var)
+	collect = func(v Var) {
+		inc := append([]int(nil), g.adj[v]...)
+		sort.Ints(inc)
+		for _, ei := range inc {
+			if onPath[ei] {
+				continue
+			}
+			ed := g.Edges[ei]
+			child := ed.To
+			if ed.From != v {
+				child = ed.From
+			}
+			if visited[child] {
+				continue
+			}
+			visited[child] = true
+			hangs = append(hangs, hangEdge{edgeIdx: ei, parent: v, child: child})
+			collect(child)
+		}
+	}
+	for _, v := range pathNodes {
+		collect(v)
+	}
+
+	parentHangOf := map[Var]int{} // child var -> hang index that reaches it
+	for i, h := range hangs {
+		parentHangOf[h.child] = i
+	}
+
+	include := make([]bool, len(hangs))
+	var choose func(i int)
+	choose = func(i int) {
+		if e.capped() {
+			return
+		}
+		if i == len(hangs) {
+			e.renderChoice(from, mainPath, hangs, include)
+			return
+		}
+		h := hangs[i]
+		allowed := inPathNode[h.parent]
+		if !allowed {
+			if pi, ok := parentHangOf[h.parent]; ok {
+				allowed = include[pi]
+			}
+		}
+		if !e.opt.AllSubgraphs {
+			include[i] = allowed
+			choose(i + 1)
+			return
+		}
+		if allowed {
+			include[i] = true
+			choose(i + 1)
+			if e.capped() {
+				return
+			}
+		}
+		include[i] = false
+		choose(i + 1)
+	}
+	choose(0)
+}
+
+func (e *traversalEnum) pathNodes(from Var, mainPath []TraversalStep) []Var {
+	nodes := []Var{from}
+	at := from
+	for _, s := range mainPath {
+		ed := e.g.Edges[s.EdgeIdx]
+		if s.Against {
+			at = ed.From
+		} else {
+			at = ed.To
+		}
+		nodes = append(nodes, at)
+	}
+	return nodes
+}
+
+// renderChoice renders all pattern variants for one inclusion choice of
+// hanging edges.
+func (e *traversalEnum) renderChoice(from Var, mainPath []TraversalStep, hangs []hangEdge, include []bool) {
+	// childrenOf maps a node to its included hanging edges, in order.
+	childrenOf := map[Var][]hangEdge{}
+	for i, h := range hangs {
+		if include[i] {
+			childrenOf[h.parent] = append(childrenOf[h.parent], h)
+		}
+	}
+
+	// Build the unit sequence along the main path: maximal simple
+	// segments broken at nodes that carry detours, with the detours
+	// (nested sub-patterns) between them.
+	type unit struct {
+		segment []TraversalStep // nil for detour units
+		detour  []*rre.Pattern  // variants of a nested detour
+	}
+	pathNodes := e.pathNodes(from, mainPath)
+	var units []unit
+	appendDetours := func(v Var) bool {
+		for _, h := range childrenOf[v] {
+			vs := e.hangVariants(h, childrenOf)
+			if len(vs) == 0 {
+				return false
+			}
+			nested := make([]*rre.Pattern, len(vs))
+			for i, p := range vs {
+				nested[i] = rre.Nest(p)
+			}
+			units = append(units, unit{detour: nested})
+		}
+		return true
+	}
+	if !appendDetours(pathNodes[0]) {
+		return
+	}
+	var seg []TraversalStep
+	for i, s := range mainPath {
+		seg = append(seg, s)
+		node := pathNodes[i+1]
+		if len(childrenOf[node]) > 0 || i == len(mainPath)-1 {
+			units = append(units, unit{segment: append([]TraversalStep(nil), seg...)})
+			seg = nil
+			if !appendDetours(node) {
+				return
+			}
+		}
+	}
+
+	// Expand the variant product across units.
+	var parts []*rre.Pattern
+	var expand func(i int)
+	expand = func(i int) {
+		if e.capped() {
+			return
+		}
+		if i == len(units) {
+			e.emit(rre.Concat(parts...))
+			return
+		}
+		u := units[i]
+		if u.segment != nil {
+			p := e.g.PathPattern(u.segment)
+			parts = append(parts, p)
+			expand(i + 1)
+			parts = parts[:len(parts)-1]
+			if e.opt.SkipVariants {
+				sk := rre.Skip(p)
+				if !sk.Equal(p) {
+					parts = append(parts, sk)
+					expand(i + 1)
+					parts = parts[:len(parts)-1]
+				}
+			}
+			return
+		}
+		for _, d := range u.detour {
+			parts = append(parts, d)
+			expand(i + 1)
+			parts = parts[:len(parts)-1]
+			if e.capped() {
+				return
+			}
+		}
+	}
+	expand(0)
+}
+
+// hangVariants returns the pattern variants that cover the subtree
+// reached by crossing h, visiting every included edge once. The pattern
+// starts at h.parent and ends somewhere inside the subtree (it is always
+// used inside a Nest, so the endpoint is existential).
+func (e *traversalEnum) hangVariants(h hangEdge, childrenOf map[Var][]hangEdge) []*rre.Pattern {
+	step := e.stepAcross(h)
+	kids := childrenOf[h.child]
+	if len(kids) == 0 {
+		out := []*rre.Pattern{step}
+		if e.opt.SkipVariants {
+			if sk := rre.Skip(step); !sk.Equal(step) {
+				out = append(out, sk)
+			}
+		}
+		return out
+	}
+
+	// Variant A: every child becomes a nested detour; the walk ends at
+	// h.child. Variant B (per continuation choice): one child extends the
+	// linear walk, the others are nested detours.
+	var out []*rre.Pattern
+	kidVariants := make([][]*rre.Pattern, len(kids))
+	for i, k := range kids {
+		kidVariants[i] = e.hangVariants(k, childrenOf)
+	}
+
+	// product expands choices across a subset of kids rendered as nests.
+	var product func(idxs []int, acc []*rre.Pattern, fn func([]*rre.Pattern))
+	product = func(idxs []int, acc []*rre.Pattern, fn func([]*rre.Pattern)) {
+		if len(idxs) == 0 {
+			fn(acc)
+			return
+		}
+		for _, v := range kidVariants[idxs[0]] {
+			product(idxs[1:], append(acc, rre.Nest(v)), fn)
+		}
+	}
+
+	all := make([]int, len(kids))
+	for i := range kids {
+		all[i] = i
+	}
+	product(all, nil, func(nests []*rre.Pattern) {
+		out = append(out, rre.Concat(append([]*rre.Pattern{step}, nests...)...))
+	})
+	for cont := range kids {
+		others := make([]int, 0, len(kids)-1)
+		for i := range kids {
+			if i != cont {
+				others = append(others, i)
+			}
+		}
+		for _, contVar := range kidVariants[cont] {
+			product(others, nil, func(nests []*rre.Pattern) {
+				parts := append([]*rre.Pattern{step}, nests...)
+				parts = append(parts, contVar)
+				out = append(out, rre.Concat(parts...))
+			})
+		}
+	}
+
+	// Deduplicate.
+	seen := map[string]bool{}
+	uniq := out[:0]
+	for _, p := range out {
+		k := p.String()
+		if !seen[k] {
+			seen[k] = true
+			uniq = append(uniq, p)
+		}
+	}
+	return uniq
+}
+
+func (e *traversalEnum) stepAcross(h hangEdge) *rre.Pattern {
+	ed := e.g.Edges[h.edgeIdx]
+	if ed.From == h.parent {
+		return ed.Path
+	}
+	return rre.Rev(ed.Path)
+}
+
+// CanonicalTraversal returns the single pattern that traverses the whole
+// premise graph from `from` to `to` with every off-path subtree covered
+// by nested detours and no skip operators: the traversal used by the
+// Theorem 2 pattern rewriting. ok is false if from and to are
+// disconnected.
+func (g *PremiseGraph) CanonicalTraversal(from, to Var) (*rre.Pattern, bool) {
+	ps := g.Traversals(from, to, TraversalOptions{AllSubgraphs: false, SkipVariants: false, MaxPatterns: 1})
+	if len(ps) == 0 {
+		return nil, false
+	}
+	return ps[0], true
+}

@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"testing"
+
+	"relsim/internal/eval"
+	"relsim/internal/graph"
+)
+
+func TestCommonNeighbors(t *testing.T) {
+	g, n := figure1a()
+	ev := eval.New(g)
+	r := CommonNeighbors(ev, n["DM"], g.NodesOfType("area"))
+	if r.Len() == 0 {
+		t.Fatal("no common-neighbor answers")
+	}
+	// DM shares papers PM and SM with DB (2), only CM with SE (1).
+	if r.IDs[0] != n["DB"] {
+		t.Errorf("top = %s, want DB", g.Node(r.IDs[0]).Name)
+	}
+	if r.Scores[0] != 2 {
+		t.Errorf("DB score = %v, want 2", r.Scores[0])
+	}
+	if got := r.Rank(n["SE"]); got != 2 {
+		t.Errorf("SE rank = %d, want 2", got)
+	}
+}
+
+func TestCommonNeighborsNilCandidates(t *testing.T) {
+	g, n := figure1a()
+	ev := eval.New(g)
+	r := CommonNeighbors(ev, n["DM"], nil)
+	if r.Len() == 0 {
+		t.Fatal("nil candidates must rank everything with score > 0")
+	}
+	if r.Rank(n["DM"]) != 0 {
+		t.Error("query leaked into its own ranking")
+	}
+}
+
+func TestKatz(t *testing.T) {
+	g, n := figure1a()
+	ev := eval.New(g)
+	r := Katz(ev, DefaultKatz(), n["DM"], g.NodesOfType("area"))
+	if r.Len() == 0 {
+		t.Fatal("no Katz answers")
+	}
+	if r.IDs[0] != n["DB"] {
+		t.Errorf("Katz top = %s, want DB", g.Node(r.IDs[0]).Name)
+	}
+	// Longer paths contribute strictly less: raising MaxLen only adds
+	// non-negative mass.
+	short := Katz(ev, KatzOptions{Beta: 0.05, MaxLen: 2}, n["DM"], g.NodesOfType("area"))
+	long := Katz(ev, KatzOptions{Beta: 0.05, MaxLen: 6}, n["DM"], g.NodesOfType("area"))
+	for i, id := range short.IDs {
+		if p := long.Rank(id); p > 0 {
+			if long.Scores[p-1] < short.Scores[i]-1e-12 {
+				t.Errorf("Katz mass decreased for %d", id)
+			}
+		}
+	}
+}
+
+func TestKatzEmptyGraph(t *testing.T) {
+	g := graph.New()
+	g.AddNode("", "")
+	ev := eval.New(g)
+	if r := Katz(ev, DefaultKatz(), 0, nil); r.Len() != 0 {
+		t.Error("Katz on an edgeless graph must be empty")
+	}
+}
+
+func TestPRank(t *testing.T) {
+	g, n := figure1a()
+	ev := eval.New(g)
+	r, err := PRank(ev, DefaultSimRank(), 0.5, n["DM"], g.NodesOfType("area"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() == 0 {
+		t.Fatal("no P-Rank answers")
+	}
+	if r.IDs[0] != n["DB"] {
+		t.Errorf("P-Rank top = %s, want DB", g.Node(r.IDs[0]).Name)
+	}
+	for _, s := range r.Scores {
+		if s <= 0 || s > 1 {
+			t.Errorf("P-Rank score %v out of (0,1]", s)
+		}
+	}
+}
+
+func TestPRankCap(t *testing.T) {
+	g, _ := figure1a()
+	ev := eval.New(g)
+	if _, err := PRank(ev, DefaultSimRank(), 0.5, 0, nil, 3); err == nil {
+		t.Error("cap must reject large graphs")
+	}
+}
+
+func TestPRankLambdaExtremes(t *testing.T) {
+	// λ=1 uses only in-neighbors (classic SimRank direction); λ=0 only
+	// out-neighbors. Both must be well-defined.
+	g, n := figure1a()
+	ev := eval.New(g)
+	for _, lambda := range []float64{0, 1} {
+		if _, err := PRank(ev, DefaultSimRank(), lambda, n["DM"], nil, 0); err != nil {
+			t.Errorf("λ=%v: %v", lambda, err)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"fmt"
+
+	"relsim/internal/eval"
+	"relsim/internal/graph"
+	"relsim/internal/rre"
+)
+
+// PathSim ranks nodes by Equation 1 of the paper over a simple pattern
+// (meta-path):
+//
+//	sim_p(u, v) = 2·|u ⇝_p v| / (|u ⇝_p u| + |v ⇝_p v|)
+//
+// The pattern must be simple (concatenation of possibly reversed labels,
+// §4.1); use RelSim for general RREs. Candidates restricts the answer
+// domain (typically the nodes of the query's entity type); nil ranks all
+// nodes with positive score.
+func PathSim(ev *eval.Evaluator, p *rre.Pattern, query graph.NodeID, candidates []graph.NodeID) (Ranking, error) {
+	if !p.IsSimple() {
+		return Ranking{}, fmt.Errorf("sim: PathSim requires a simple pattern, got %s", p)
+	}
+	return relSimRank(ev, p, query, candidates), nil
+}
+
+// RelSim ranks nodes by Equation 1 over an arbitrary RRE pattern. This
+// is the paper's core algorithm (§4.2): with patterns written in the RRE
+// language it is structurally robust under invertible transformations
+// (Corollary 1).
+func RelSim(ev *eval.Evaluator, p *rre.Pattern, query graph.NodeID, candidates []graph.NodeID) Ranking {
+	return relSimRank(ev, p, query, candidates)
+}
+
+func relSimRank(ev *eval.Evaluator, p *rre.Pattern, query graph.NodeID, candidates []graph.NodeID) Ranking {
+	m := ev.Commuting(p)
+	scores := map[graph.NodeID]float64{}
+	collect := func(v graph.NodeID) {
+		if v == query {
+			return
+		}
+		if s := eval.PathSimScore(m, query, v); s > 0 {
+			scores[v] = s
+		}
+	}
+	if candidates != nil {
+		for _, v := range candidates {
+			collect(v)
+		}
+	} else {
+		for v := 0; v < ev.Graph().NumNodes(); v++ {
+			collect(graph.NodeID(v))
+		}
+	}
+	return rankScores(scores, query, candidates)
+}
+
+// RelSimAggregate ranks nodes by the sum of Equation-1 scores over a set
+// of RRE patterns, the scoring used after Algorithm 1 expands a simple
+// input pattern into the set E_p (§5, Proposition 5).
+func RelSimAggregate(ev *eval.Evaluator, patterns []*rre.Pattern, query graph.NodeID, candidates []graph.NodeID) Ranking {
+	scores := map[graph.NodeID]float64{}
+	for _, p := range patterns {
+		m := ev.Commuting(p)
+		add := func(v graph.NodeID) {
+			if v == query {
+				return
+			}
+			if s := eval.PathSimScore(m, query, v); s > 0 {
+				scores[v] += s
+			}
+		}
+		if candidates != nil {
+			for _, v := range candidates {
+				add(v)
+			}
+		} else {
+			for v := 0; v < ev.Graph().NumNodes(); v++ {
+				add(graph.NodeID(v))
+			}
+		}
+	}
+	return rankScores(scores, query, candidates)
+}
+
+// PathSimScorePair returns the Equation-1 score for a single node pair.
+func PathSimScorePair(ev *eval.Evaluator, p *rre.Pattern, u, v graph.NodeID) float64 {
+	return eval.PathSimScore(ev.Commuting(p), u, v)
+}

@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"testing"
+
+	"relsim/internal/eval"
+	"relsim/internal/graph"
+	"relsim/internal/mapping"
+	"relsim/internal/rre"
+	"relsim/internal/schema"
+)
+
+// Proposition 4: pattern-constrained RWR and SimRank — where one hop
+// follows an instance of an RRE pattern — give equal scores across an
+// invertible transformation when the pattern is rewritten with the
+// Corollary-1 mapping. This file verifies it on a DBLP-style instance
+// under the DBLP2SIGM transformation.
+
+func prop4Instance() (*graph.Graph, mapping.Transformation, mapping.Transformation) {
+	g := graph.New()
+	a1 := g.AddNode("a1", "area")
+	a2 := g.AddNode("a2", "area")
+	a3 := g.AddNode("a3", "area")
+	c1 := g.AddNode("c1", "proc")
+	c2 := g.AddNode("c2", "proc")
+	c3 := g.AddNode("c3", "proc")
+	specs := []struct {
+		proc  graph.NodeID
+		areas []graph.NodeID
+		count int
+	}{
+		{c1, []graph.NodeID{a1, a2}, 3},
+		{c2, []graph.NodeID{a2}, 2},
+		{c3, []graph.NodeID{a2, a3}, 1},
+	}
+	for _, s := range specs {
+		for k := 0; k < s.count; k++ {
+			p := g.AddNode("", "paper")
+			g.AddEdge(p, "p-in", s.proc)
+			for _, a := range s.areas {
+				g.AddEdge(p, "r-a", a)
+			}
+		}
+	}
+	fwd := mapping.Transformation{
+		Name: "DBLP2SIGM",
+		Rules: append(mapping.Identities("p-in"),
+			mapping.Rule{
+				Name:       "area-to-proc",
+				Premise:    []schema.Atom{schema.At("p", "p-in", "c"), schema.At("p", "r-a", "a")},
+				Conclusion: []mapping.ConclusionAtom{{From: "c", Label: "r-a", To: "a"}},
+			}),
+	}
+	inv := mapping.Transformation{
+		Name: "inv",
+		Rules: append(mapping.Identities("p-in"),
+			mapping.Rule{
+				Name:       "area-to-paper",
+				Premise:    []schema.Atom{schema.At("p", "p-in", "c"), schema.At("c", "r-a", "a")},
+				Conclusion: []mapping.ConclusionAtom{{From: "p", Label: "r-a", To: "a"}},
+			}),
+	}
+	return g, fwd, inv
+}
+
+func rankingsEqual(a, b Ranking) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := range a.IDs {
+		if a.IDs[i] != b.IDs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestProposition4RWR(t *testing.T) {
+	g, fwd, inv := prop4Instance()
+	dst := fwd.Apply(g)
+	p := rre.MustParse("p-in-.r-a.r-a-.p-in")
+	q, err := mapping.RewritePattern(p, inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evS, evT := eval.New(g), eval.New(dst)
+	procs := g.NodesOfType("proc")
+	opt := DefaultRWR()
+	for _, query := range procs {
+		a := RWRPattern(evS, p, opt, query, procs)
+		b := RWRPattern(evT, q, opt, query, procs)
+		if !rankingsEqual(a, b) {
+			t.Fatalf("pattern-constrained RWR differs for %d: %v vs %v", query, a.IDs, b.IDs)
+		}
+		for i := range a.Scores {
+			if diff := a.Scores[i] - b.Scores[i]; diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("RWR scores differ for %d at %d: %v vs %v", query, i, a.Scores[i], b.Scores[i])
+			}
+		}
+	}
+}
+
+func TestProposition4SimRank(t *testing.T) {
+	g, fwd, inv := prop4Instance()
+	dst := fwd.Apply(g)
+	p := rre.MustParse("p-in-.r-a.r-a-.p-in")
+	q, err := mapping.RewritePattern(p, inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evS, evT := eval.New(g), eval.New(dst)
+	procs := g.NodesOfType("proc")
+	opt := DefaultSimRank()
+	for _, query := range procs {
+		a, err := SimRankPattern(evS, p, opt, query, procs, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := SimRankPattern(evT, q, opt, query, procs, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rankingsEqual(a, b) {
+			t.Fatalf("pattern-constrained SimRank differs for %d: %v vs %v", query, a.IDs, b.IDs)
+		}
+	}
+}
+
+// TestProposition4Negative: the *unconstrained* versions are not robust
+// on the same instance (the contrast Proposition 4 draws).
+func TestProposition4Negative(t *testing.T) {
+	g, fwd, _ := prop4Instance()
+	dst := fwd.Apply(g)
+	evS, evT := eval.New(g), eval.New(dst)
+	procs := g.NodesOfType("proc")
+	opt := DefaultRWR()
+	differs := false
+	for _, query := range procs {
+		a := RWR(evS, opt, query, procs)
+		b := RWR(evT, opt, query, procs)
+		if a.Len() != b.Len() {
+			differs = true
+			break
+		}
+		for i := range a.Scores {
+			if d := a.Scores[i] - b.Scores[i]; d > 1e-9 || d < -1e-9 {
+				differs = true
+			}
+		}
+	}
+	if !differs {
+		t.Error("plain RWR scores should change across the transformation")
+	}
+}

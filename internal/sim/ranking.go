@@ -1,0 +1,81 @@
+// Package sim implements the similarity search algorithms the paper
+// studies: the baselines PathSim, HeteSim, SimRank and random walk with
+// restart (RWR), their pattern-constrained extensions (§4.2,
+// Proposition 4), and the paper's contribution RelSim (§4), including the
+// aggregated variant over the pattern sets produced by Algorithm 1 (§5).
+package sim
+
+import (
+	"sort"
+
+	"relsim/internal/graph"
+)
+
+// Ranking is a ranked answer list for a similarity query: node ids in
+// descending score order, ties broken by ascending node id so results
+// are deterministic (the paper compares ranked lists positionally).
+type Ranking struct {
+	IDs    []graph.NodeID
+	Scores []float64
+}
+
+// TopK returns the first k entries (or fewer if the ranking is shorter).
+func (r Ranking) TopK(k int) Ranking {
+	if k > len(r.IDs) {
+		k = len(r.IDs)
+	}
+	return Ranking{IDs: r.IDs[:k], Scores: r.Scores[:k]}
+}
+
+// Len returns the number of ranked answers.
+func (r Ranking) Len() int { return len(r.IDs) }
+
+// Rank returns the 1-based position of id in the ranking, or 0 if absent.
+func (r Ranking) Rank(id graph.NodeID) int {
+	for i, x := range r.IDs {
+		if x == id {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// rankScores builds a Ranking from a score map, excluding the query node
+// and entries with non-positive score, restricted to the candidates set
+// when non-nil.
+func rankScores(scores map[graph.NodeID]float64, query graph.NodeID, candidates []graph.NodeID) Ranking {
+	type pair struct {
+		id graph.NodeID
+		s  float64
+	}
+	var ps []pair
+	if candidates != nil {
+		for _, id := range candidates {
+			if id == query {
+				continue
+			}
+			if s := scores[id]; s > 0 {
+				ps = append(ps, pair{id, s})
+			}
+		}
+	} else {
+		for id, s := range scores {
+			if id == query || s <= 0 {
+				continue
+			}
+			ps = append(ps, pair{id, s})
+		}
+	}
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].s != ps[j].s {
+			return ps[i].s > ps[j].s
+		}
+		return ps[i].id < ps[j].id
+	})
+	r := Ranking{IDs: make([]graph.NodeID, len(ps)), Scores: make([]float64, len(ps))}
+	for i, p := range ps {
+		r.IDs[i] = p.id
+		r.Scores[i] = p.s
+	}
+	return r
+}

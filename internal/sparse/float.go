@@ -1,0 +1,136 @@
+package sparse
+
+import "fmt"
+
+// FloatMatrix is an immutable n×n sparse matrix with float64 entries in
+// CSR form. It backs the random-walk algorithms (RWR, SimRank) which need
+// row-normalized transition matrices.
+type FloatMatrix struct {
+	n      int
+	rowPtr []int32
+	colIdx []int32
+	val    []float64
+}
+
+// FromInt converts an integer matrix to a float matrix.
+func FromInt(m *Matrix) *FloatMatrix {
+	f := &FloatMatrix{
+		n:      m.n,
+		rowPtr: append([]int32(nil), m.rowPtr...),
+		colIdx: append([]int32(nil), m.colIdx...),
+		val:    make([]float64, len(m.val)),
+	}
+	for i, v := range m.val {
+		f.val[i] = float64(v)
+	}
+	return f
+}
+
+// Dim returns the dimension n of the n×n matrix.
+func (f *FloatMatrix) Dim() int { return f.n }
+
+// NNZ returns the number of stored entries.
+func (f *FloatMatrix) NNZ() int { return len(f.val) }
+
+// At returns the entry at (row, col) with a linear scan of the row.
+func (f *FloatMatrix) At(row, col int) float64 {
+	for i := f.rowPtr[row]; i < f.rowPtr[row+1]; i++ {
+		if f.colIdx[i] == int32(col) {
+			return f.val[i]
+		}
+	}
+	return 0
+}
+
+// Row calls fn(col, val) for each stored entry of the row.
+func (f *FloatMatrix) Row(row int, fn func(col int, val float64)) {
+	for i := f.rowPtr[row]; i < f.rowPtr[row+1]; i++ {
+		fn(int(f.colIdx[i]), f.val[i])
+	}
+}
+
+// RowNormalize returns the row-stochastic version of f: every nonzero row
+// is scaled to sum to 1; zero rows stay zero (dangling nodes).
+func (f *FloatMatrix) RowNormalize() *FloatMatrix {
+	out := &FloatMatrix{
+		n:      f.n,
+		rowPtr: append([]int32(nil), f.rowPtr...),
+		colIdx: append([]int32(nil), f.colIdx...),
+		val:    make([]float64, len(f.val)),
+	}
+	for r := 0; r < f.n; r++ {
+		var sum float64
+		for i := f.rowPtr[r]; i < f.rowPtr[r+1]; i++ {
+			sum += f.val[i]
+		}
+		if sum == 0 {
+			continue
+		}
+		for i := f.rowPtr[r]; i < f.rowPtr[r+1]; i++ {
+			out.val[i] = f.val[i] / sum
+		}
+	}
+	return out
+}
+
+// Transpose returns fᵀ.
+func (f *FloatMatrix) Transpose() *FloatMatrix {
+	t := &FloatMatrix{
+		n:      f.n,
+		rowPtr: make([]int32, f.n+1),
+		colIdx: make([]int32, len(f.colIdx)),
+		val:    make([]float64, len(f.val)),
+	}
+	for _, c := range f.colIdx {
+		t.rowPtr[c+1]++
+	}
+	for r := 0; r < f.n; r++ {
+		t.rowPtr[r+1] += t.rowPtr[r]
+	}
+	next := make([]int32, f.n)
+	copy(next, t.rowPtr[:f.n])
+	for r := 0; r < f.n; r++ {
+		for i := f.rowPtr[r]; i < f.rowPtr[r+1]; i++ {
+			c := f.colIdx[i]
+			t.colIdx[next[c]] = int32(r)
+			t.val[next[c]] = f.val[i]
+			next[c]++
+		}
+	}
+	return t
+}
+
+// MulVec returns the dense matrix-vector product f·x. It panics if
+// len(x) != Dim().
+func (f *FloatMatrix) MulVec(x []float64) []float64 {
+	if len(x) != f.n {
+		panic(fmt.Sprintf("sparse: MulVec length %d != dim %d", len(x), f.n))
+	}
+	y := make([]float64, f.n)
+	for r := 0; r < f.n; r++ {
+		var s float64
+		for i := f.rowPtr[r]; i < f.rowPtr[r+1]; i++ {
+			s += f.val[i] * x[f.colIdx[i]]
+		}
+		y[r] = s
+	}
+	return y
+}
+
+// VecMul returns the dense vector-matrix product xᵀ·f as a vector.
+func (f *FloatMatrix) VecMul(x []float64) []float64 {
+	if len(x) != f.n {
+		panic(fmt.Sprintf("sparse: VecMul length %d != dim %d", len(x), f.n))
+	}
+	y := make([]float64, f.n)
+	for r := 0; r < f.n; r++ {
+		xv := x[r]
+		if xv == 0 {
+			continue
+		}
+		for i := f.rowPtr[r]; i < f.rowPtr[r+1]; i++ {
+			y[f.colIdx[i]] += f.val[i] * xv
+		}
+	}
+	return y
+}

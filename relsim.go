@@ -1,0 +1,293 @@
+// Package relsim is a structurally robust similarity search library for
+// labeled graph databases, implementing RelSim from "Structural
+// Generalizability: The Case of Similarity Search" (SIGMOD 2021).
+//
+// Graph similarity algorithms such as SimRank, random walk with restart
+// and PathSim return different answers on databases that represent the
+// same information under different structures. RelSim fixes this: with
+// relationship patterns written in the rich-relationship expression
+// (RRE) language — regular path queries extended with a nested operator
+// [p] and a skip operator ⌈⌈p⌋⌋ (spelled <p> here) — Equation-1 scores
+// are provably invariant under every invertible schema transformation.
+//
+// The typical flow:
+//
+//	g := relsim.NewGraph()
+//	// ... add nodes and edges ...
+//	eng := relsim.NewEngine(g, mySchema)
+//	rank, err := eng.Search("field.field-", queryNode, relsim.WithCandidates(areas))
+//
+// Search expands simple patterns against the schema's tgd constraints
+// (Algorithm 1 of the paper) and aggregates the scores, so users write
+// plain meta-paths and still get structurally robust answers. The
+// lower-level entry points (RelSim, PathSim, HeteSim, RWR, SimRank) are
+// exposed for benchmarking and comparisons, as is the Theorem 2 pattern
+// rewriting across schema mappings (RewritePattern).
+package relsim
+
+import (
+	"fmt"
+	"strings"
+
+	"relsim/internal/eval"
+	"relsim/internal/graph"
+	"relsim/internal/mapping"
+	"relsim/internal/pattern"
+	"relsim/internal/rre"
+	"relsim/internal/schema"
+	"relsim/internal/sim"
+)
+
+// Re-exported core types. The facade aliases the internal packages so a
+// downstream user only imports "relsim".
+type (
+	// Graph is a labeled directed graph database (paper §2).
+	Graph = graph.Graph
+	// NodeID identifies a node; ids are dense 0..n-1.
+	NodeID = graph.NodeID
+	// Node is a stored node with optional name and type tag.
+	Node = graph.Node
+	// Edge is a labeled edge.
+	Edge = graph.Edge
+	// Pattern is an RRE relationship pattern (paper §4.2).
+	Pattern = rre.Pattern
+	// Schema is a label set plus tgd constraints (paper §2).
+	Schema = schema.Schema
+	// Constraint is a tuple-generating dependency over the schema.
+	Constraint = schema.Constraint
+	// Atom is one (from, path, to) atom of a constraint premise.
+	Atom = schema.Atom
+	// Var is a constraint/mapping variable.
+	Var = schema.Var
+	// Transformation is a schema mapping (paper §3).
+	Transformation = mapping.Transformation
+	// Rule is one mapping rule.
+	Rule = mapping.Rule
+	// ConclusionAtom is a concluded edge of a mapping rule.
+	ConclusionAtom = mapping.ConclusionAtom
+	// Ranking is a ranked similarity answer list.
+	Ranking = sim.Ranking
+)
+
+// NewGraph returns an empty graph database.
+func NewGraph() *Graph { return graph.New() }
+
+// NewSchema builds a schema from labels and constraints.
+func NewSchema(labels []string, constraints ...Constraint) *Schema {
+	return schema.New(labels, constraints...)
+}
+
+// ParsePattern parses an RRE pattern in the ASCII syntax: labels
+// ("p-in"), '.' concatenation, '+' disjunction, postfix '-' reversal,
+// postfix '*' Kleene star, '[p]' nesting, '<p>' skip, '()' epsilon.
+func ParsePattern(s string) (*Pattern, error) { return rre.Parse(s) }
+
+// MustParsePattern is ParsePattern panicking on error.
+func MustParsePattern(s string) *Pattern { return rre.MustParse(s) }
+
+// TGD builds a tgd constraint: premise atoms → (from, label, to).
+func TGD(name string, premise []Atom, from Var, conclusionLabel string, to Var) Constraint {
+	return schema.TGD(name, premise, from, conclusionLabel, to)
+}
+
+// At builds a premise atom (from, path, to); path uses the RRE syntax.
+func At(from Var, path string, to Var) Atom { return schema.At(from, path, to) }
+
+// RewritePattern maps a pattern over a source schema to the
+// count-equivalent pattern over a transformed schema, given the inverse
+// transformation (Theorem 2 / Corollary 1).
+func RewritePattern(p *Pattern, inverse Transformation) (*Pattern, error) {
+	return mapping.RewritePattern(p, inverse)
+}
+
+// VerifyInverse checks constructively that inv undoes t on instance g.
+func VerifyInverse(g *Graph, t, inv Transformation) bool {
+	return mapping.VerifyInverse(g, t, inv)
+}
+
+// Engine answers similarity queries over one graph database, caching
+// commuting matrices across queries. It is safe for concurrent use.
+type Engine struct {
+	g      *Graph
+	schema *Schema
+	ev     *eval.Evaluator
+	genOpt pattern.Options
+}
+
+// NewEngine builds an engine for g. The schema may be nil when no
+// constraints are known; Search then behaves like plain RelSim.
+func NewEngine(g *Graph, s *Schema) *Engine {
+	if s == nil {
+		s = schema.New(g.Labels())
+	}
+	return &Engine{g: g, schema: s, ev: eval.New(g), genOpt: pattern.Default()}
+}
+
+// Graph returns the engine's graph.
+func (e *Engine) Graph() *Graph { return e.g }
+
+// Schema returns the engine's schema.
+func (e *Engine) Schema() *Schema { return e.schema }
+
+// CheckConstraints verifies the schema constraints against the graph and
+// returns a human-readable description of up to max violations.
+func (e *Engine) CheckConstraints(max int) []string {
+	var out []string
+	for _, v := range e.schema.Check(e.g, max) {
+		out = append(out, v.String())
+	}
+	return out
+}
+
+// Materialize pre-computes commuting matrices for the given patterns
+// (e.g. all meta-paths of a workload) to speed up later queries.
+func (e *Engine) Materialize(patterns ...*Pattern) {
+	e.ev.Materialize(patterns...)
+}
+
+// searchConfig collects Search options.
+type searchConfig struct {
+	candidates []NodeID
+	noExpand   bool
+}
+
+// SearchOption configures Search.
+type SearchOption func(*searchConfig)
+
+// WithCandidates restricts answers to the given nodes (typically the
+// query's entity type).
+func WithCandidates(ids []NodeID) SearchOption {
+	return func(c *searchConfig) { c.candidates = ids }
+}
+
+// WithCandidateType restricts answers to nodes of the given type tag.
+func WithCandidateType(g *Graph, typ string) SearchOption {
+	return func(c *searchConfig) { c.candidates = g.NodesOfType(typ) }
+}
+
+// WithoutExpansion disables the Algorithm-1 expansion of simple
+// patterns; the pattern is scored as given.
+func WithoutExpansion() SearchOption {
+	return func(c *searchConfig) { c.noExpand = true }
+}
+
+// Search answers a similarity query with the structurally robust
+// pipeline: the pattern is parsed, simple patterns are expanded against
+// the schema constraints into the set E_p (Algorithm 1, with the §6
+// optimizations), and the Equation-1 scores of all patterns in E_p are
+// aggregated (Proposition 5). Non-simple RRE patterns are scored
+// directly (they are robust by Corollary 1 when written in RRE).
+func (e *Engine) Search(patternSrc string, query NodeID, opts ...SearchOption) (Ranking, error) {
+	p, err := rre.Parse(patternSrc)
+	if err != nil {
+		return Ranking{}, err
+	}
+	return e.SearchPattern(p, query, opts...)
+}
+
+// SearchPattern is Search with a pre-parsed pattern.
+func (e *Engine) SearchPattern(p *Pattern, query NodeID, opts ...SearchOption) (Ranking, error) {
+	if !e.g.Has(query) {
+		return Ranking{}, fmt.Errorf("relsim: query node %d does not exist", query)
+	}
+	var cfg searchConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if p.IsSimple() && !cfg.noExpand {
+		ps, err := pattern.Generate(e.schema, p, e.genOpt)
+		if err != nil {
+			return Ranking{}, err
+		}
+		return sim.RelSimAggregate(e.ev, ps, query, cfg.candidates), nil
+	}
+	return sim.RelSim(e.ev, p, query, cfg.candidates), nil
+}
+
+// ExpandPattern runs Algorithm 1 on a simple pattern and returns the
+// generated set E_p.
+func (e *Engine) ExpandPattern(p *Pattern) ([]*Pattern, error) {
+	return pattern.Generate(e.schema, p, e.genOpt)
+}
+
+// RelSim scores an RRE pattern with Equation 1 (paper §4).
+func (e *Engine) RelSim(p *Pattern, query NodeID, candidates []NodeID) Ranking {
+	return sim.RelSim(e.ev, p, query, candidates)
+}
+
+// PathSim scores a simple meta-path with Equation 1 (the baseline).
+func (e *Engine) PathSim(p *Pattern, query NodeID, candidates []NodeID) (Ranking, error) {
+	return sim.PathSim(e.ev, p, query, candidates)
+}
+
+// HeteSim scores a (possibly asymmetric) path with the HeteSim relevance
+// measure.
+func (e *Engine) HeteSim(p *Pattern, query NodeID, candidates []NodeID) Ranking {
+	return sim.HeteSimRRE(e.ev, p, query, candidates)
+}
+
+// RWR ranks by random walk with restart (restart probability 0.8, the
+// paper's setting).
+func (e *Engine) RWR(query NodeID, candidates []NodeID) Ranking {
+	return sim.RWR(e.ev, sim.DefaultRWR(), query, candidates)
+}
+
+// SimRank ranks by Monte-Carlo SimRank (damping 0.8, deterministic
+// seed).
+func (e *Engine) SimRank(query NodeID, candidates []NodeID) Ranking {
+	return sim.SimRankMC(e.ev, sim.DefaultSimRank(), query, candidates)
+}
+
+// InstanceCount returns |I^{u,v}(p)|, the number of instances of the
+// pattern from u to v (paper §4.2).
+func (e *Engine) InstanceCount(p *Pattern, u, v NodeID) int64 {
+	return e.ev.Commuting(p).At(int(u), int(v))
+}
+
+// Explain enumerates up to limit concrete instances of the pattern from
+// u to v — the recorded traversal sequences of the paper's §4.2 instance
+// semantics — rendered with node names where available. It answers "why
+// are these two entities similar under this pattern?".
+func (e *Engine) Explain(p *Pattern, u, v NodeID, limit int) []string {
+	ins := e.ev.Instances(p, u, v, limit)
+	out := make([]string, len(ins))
+	for i, in := range ins {
+		parts := make([]string, len(in.Seq))
+		for j, s := range in.Seq {
+			parts[j] = s
+			var id int
+			if _, err := fmt.Sscanf(s, "%d", &id); err == nil && e.g.Has(NodeID(id)) {
+				if name := e.g.Node(NodeID(id)).Name; name != "" {
+					parts[j] = name
+				}
+			}
+		}
+		out[i] = strings.Join(parts, " → ")
+	}
+	return out
+}
+
+// ConjunctivePattern is the conjunctive RRE extension for relationships
+// whose shape is cyclic (paper §4.2); see Engine.ConjunctiveSimilarity.
+type ConjunctivePattern = eval.ConjunctivePattern
+
+// ConjAtom is one conjunct of a ConjunctivePattern.
+type ConjAtom = eval.ConjAtom
+
+// ConjunctiveSimilarity scores Equation 1 over a conjunctive RRE for a
+// single node pair.
+func (e *Engine) ConjunctiveSimilarity(c ConjunctivePattern, u, v NodeID) (float64, error) {
+	return e.ev.ConjunctivePathSim(c, u, v)
+}
+
+// Renaming builds a label-renaming transformation; see
+// mapping.Renaming.
+func Renaming(name string, rename map[string]string) Transformation {
+	return mapping.Renaming(name, rename)
+}
+
+// RenamingInverse returns the inverse of a bijective renaming, or an
+// error if the renaming is not injective.
+func RenamingInverse(name string, rename map[string]string) (Transformation, error) {
+	return mapping.RenamingInverse(name, rename)
+}

@@ -1,0 +1,344 @@
+package relsim
+
+import (
+	"strings"
+	"testing"
+)
+
+// courseGraph builds a small WSU-style database where all offerings of a
+// course share the course's subjects (the §7.1 constraint).
+func courseGraph() (*Graph, []NodeID, []NodeID) {
+	g := NewGraph()
+	subjects := make([]NodeID, 4)
+	for i := range subjects {
+		subjects[i] = g.AddNode("subject"+string(rune('A'+i)), "subject")
+	}
+	courseSubjects := [][]int{{0, 1}, {0, 1}, {1, 2}, {2, 3}}
+	courses := make([]NodeID, len(courseSubjects))
+	offer := 0
+	for i, subs := range courseSubjects {
+		courses[i] = g.AddNode("course"+string(rune('0'+i)), "course")
+		for k := 0; k <= i%2; k++ {
+			o := g.AddNode("", "offer")
+			offer++
+			g.AddEdge(o, "co", courses[i])
+			for _, s := range subs {
+				g.AddEdge(o, "os", subjects[s])
+			}
+		}
+	}
+	return g, courses, subjects
+}
+
+func courseSchema() *Schema {
+	return NewSchema([]string{"co", "os"},
+		TGD("wsu-subject",
+			[]Atom{
+				At("o1", "os", "s"),
+				At("o1", "co", "c"),
+				At("o2", "co", "c"),
+			},
+			"o2", "os", "s"))
+}
+
+func TestParsePattern(t *testing.T) {
+	p, err := ParsePattern("co-.os.os-.co")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.IsSimple() {
+		t.Error("meta-path must be simple")
+	}
+	if _, err := ParsePattern("((("); err == nil {
+		t.Error("bad input must fail")
+	}
+}
+
+func TestMustParsePatternPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParsePattern must panic on bad input")
+		}
+	}()
+	MustParsePattern(")")
+}
+
+func TestEngineSearch(t *testing.T) {
+	g, courses, _ := courseGraph()
+	eng := NewEngine(g, courseSchema())
+	if bad := eng.CheckConstraints(5); len(bad) != 0 {
+		t.Fatalf("constraints violated: %v", bad)
+	}
+	r, err := eng.Search("co-.os.os-.co", courses[0], WithCandidates(courses))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() == 0 {
+		t.Fatal("empty search result")
+	}
+	// course1 shares both subjects with course0 and must rank first.
+	if r.IDs[0] != courses[1] {
+		t.Errorf("top = %v, want course1", g.Node(r.IDs[0]).Name)
+	}
+}
+
+func TestEngineSearchWithCandidateType(t *testing.T) {
+	g, courses, _ := courseGraph()
+	eng := NewEngine(g, courseSchema())
+	r, err := eng.Search("co-.os.os-.co", courses[0], WithCandidateType(g, "course"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range r.IDs {
+		if g.Node(id).Type != "course" {
+			t.Errorf("non-course answer %v", id)
+		}
+	}
+}
+
+func TestEngineSearchWithoutExpansion(t *testing.T) {
+	g, courses, _ := courseGraph()
+	eng := NewEngine(g, courseSchema())
+	p := MustParsePattern("co-.os.os-.co")
+	expanded, err := eng.SearchPattern(p, courses[0], WithCandidates(courses))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := eng.SearchPattern(p, courses[0], WithCandidates(courses), WithoutExpansion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expansion aggregates more patterns, so scores must not be smaller.
+	if expanded.Len() == 0 || plain.Len() == 0 {
+		t.Fatal("empty rankings")
+	}
+	if expanded.Scores[0] < plain.Scores[0] {
+		t.Errorf("aggregate score %v < plain %v", expanded.Scores[0], plain.Scores[0])
+	}
+}
+
+func TestEngineSearchBadInput(t *testing.T) {
+	g, courses, _ := courseGraph()
+	eng := NewEngine(g, courseSchema())
+	if _, err := eng.Search("", courses[0]); err == nil {
+		t.Error("empty pattern must fail")
+	}
+	if _, err := eng.Search("co", NodeID(10_000)); err == nil {
+		t.Error("unknown query node must fail")
+	}
+}
+
+func TestEngineNilSchema(t *testing.T) {
+	g, courses, _ := courseGraph()
+	eng := NewEngine(g, nil)
+	r, err := eng.Search("co-.os.os-.co", courses[0], WithCandidates(courses))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() == 0 {
+		t.Fatal("nil-schema search must still work (plain RelSim)")
+	}
+	if got := len(eng.Schema().Labels); got != 2 {
+		t.Errorf("derived schema labels = %d, want 2", got)
+	}
+}
+
+func TestEngineExpandPattern(t *testing.T) {
+	g, _, _ := courseGraph()
+	eng := NewEngine(g, courseSchema())
+	ps, err := eng.ExpandPattern(MustParsePattern("co-.os"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) < 2 {
+		t.Errorf("expected expansion beyond the input, got %d patterns", len(ps))
+	}
+	if _, err := eng.ExpandPattern(MustParsePattern("[co]")); err == nil {
+		t.Error("non-simple input must be rejected")
+	}
+}
+
+func TestEngineNonSimpleSearch(t *testing.T) {
+	g, courses, _ := courseGraph()
+	eng := NewEngine(g, courseSchema())
+	// RRE input skips Algorithm 1 and scores directly.
+	r, err := eng.Search("co-.<os>.<os->.co", courses[0], WithCandidates(courses))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() == 0 {
+		t.Fatal("RRE search returned nothing")
+	}
+}
+
+func TestEngineInstanceCount(t *testing.T) {
+	g, courses, subjects := courseGraph()
+	eng := NewEngine(g, courseSchema())
+	p := MustParsePattern("co-.os")
+	// course0 has one offering connected to subjects A and B.
+	if got := eng.InstanceCount(p, courses[0], subjects[0]); got != 1 {
+		t.Errorf("count(course0→subjectA) = %d, want 1", got)
+	}
+	if got := eng.InstanceCount(p, courses[0], subjects[3]); got != 0 {
+		t.Errorf("count(course0→subjectD) = %d, want 0", got)
+	}
+}
+
+func TestEngineBaselineWrappers(t *testing.T) {
+	g, courses, _ := courseGraph()
+	eng := NewEngine(g, courseSchema())
+	if r := eng.RWR(courses[0], courses); r.Len() == 0 {
+		t.Error("RWR wrapper empty")
+	}
+	if r := eng.SimRank(courses[0], courses); r.Len() == 0 {
+		t.Error("SimRank wrapper empty")
+	}
+	if r := eng.HeteSim(MustParsePattern("co-.os"), courses[0], nil); r.Len() == 0 {
+		t.Error("HeteSim wrapper empty")
+	}
+	if _, err := eng.PathSim(MustParsePattern("[co]"), courses[0], nil); err == nil {
+		t.Error("PathSim wrapper must reject non-simple patterns")
+	}
+}
+
+func TestRewriteAndVerifyInverseFacade(t *testing.T) {
+	// Course database under the WSUC2ALCH-style transformation, all
+	// through the facade types.
+	g, _, _ := courseGraph()
+	t1 := Transformation{
+		Name: "toAlchemy",
+		Rules: []Rule{
+			{
+				Name:       "copy-co",
+				Premise:    []Atom{At("x", "co", "y")},
+				Conclusion: []ConclusionAtom{{From: "x", Label: "co", To: "y"}},
+			},
+			{
+				Name: "subject-to-course",
+				Premise: []Atom{
+					At("o", "co", "c"),
+					At("o", "os", "s"),
+				},
+				Conclusion: []ConclusionAtom{{From: "c", Label: "cs", To: "s"}},
+			},
+		},
+	}
+	inv := Transformation{
+		Name: "back",
+		Rules: []Rule{
+			{
+				Name:       "copy-co",
+				Premise:    []Atom{At("x", "co", "y")},
+				Conclusion: []ConclusionAtom{{From: "x", Label: "co", To: "y"}},
+			},
+			{
+				Name: "subject-to-offer",
+				Premise: []Atom{
+					At("o", "co", "c"),
+					At("c", "cs", "s"),
+				},
+				Conclusion: []ConclusionAtom{{From: "o", Label: "os", To: "s"}},
+			},
+		},
+	}
+	if !VerifyInverse(g, t1, inv) {
+		t.Fatal("transformation must be invertible on the constraint-satisfying instance")
+	}
+	p := MustParsePattern("co-.os.os-.co")
+	q, err := RewritePattern(p, inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(q.String(), "cs") {
+		t.Errorf("rewritten pattern %s should use the cs label", q)
+	}
+
+	// Theorem 2: identical rankings across the transformation.
+	dst := t1.Apply(g)
+	engS, engT := NewEngine(g, nil), NewEngine(dst, nil)
+	courses := g.NodesOfType("course")
+	for _, query := range courses {
+		a := engS.RelSim(p, query, courses)
+		b := engT.RelSim(q, query, courses)
+		if a.Len() != b.Len() {
+			t.Fatalf("lengths differ for %d", query)
+		}
+		for i := range a.IDs {
+			if a.IDs[i] != b.IDs[i] || a.Scores[i] != b.Scores[i] {
+				t.Fatalf("rankings differ for %d at %d", query, i)
+			}
+		}
+	}
+}
+
+func TestEngineMaterialize(t *testing.T) {
+	g, courses, _ := courseGraph()
+	eng := NewEngine(g, nil)
+	p := MustParsePattern("co-.os.os-.co")
+	eng.Materialize(p)
+	r, err := eng.SearchPattern(p, courses[0], WithoutExpansion())
+	if err != nil || r.Len() == 0 {
+		t.Fatalf("materialized search failed: %v", err)
+	}
+}
+
+func TestEngineExplain(t *testing.T) {
+	g, courses, subjects := courseGraph()
+	eng := NewEngine(g, nil)
+	p := MustParsePattern("co-.os")
+	ins := eng.Explain(p, courses[0], subjects[0], 0)
+	if len(ins) == 0 {
+		t.Fatal("expected at least one explanation")
+	}
+	if !strings.Contains(ins[0], "course0") || !strings.Contains(ins[0], "subjectA") {
+		t.Errorf("explanation should use node names: %q", ins[0])
+	}
+	if len(eng.Explain(p, courses[0], subjects[3], 0)) != 0 {
+		t.Error("unconnected pair must have no explanation")
+	}
+	// The limit caps output.
+	all := eng.Explain(MustParsePattern("co-.os.os-.co"), courses[0], courses[1], 0)
+	if len(all) < 2 {
+		t.Fatalf("expected multiple instances, got %d", len(all))
+	}
+	if got := eng.Explain(MustParsePattern("co-.os.os-.co"), courses[0], courses[1], 1); len(got) != 1 {
+		t.Errorf("limit ignored: %d", len(got))
+	}
+}
+
+func TestEngineConjunctiveSimilarity(t *testing.T) {
+	g, courses, _ := courseGraph()
+	eng := NewEngine(g, nil)
+	// Courses sharing a subject through their offerings, conjunctively.
+	c := ConjunctivePattern{
+		From: "c1", To: "c2",
+		Atoms: []ConjAtom{
+			{From: "c1", Path: MustParsePattern("co-.os"), To: "s"},
+			{From: "c2", Path: MustParsePattern("co-.os"), To: "s"},
+		},
+	}
+	got, err := eng.ConjunctiveSimilarity(c, courses[0], courses[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := eng.RelSim(MustParsePattern("co-.os.os-.co"), courses[0], []NodeID{courses[1]})
+	if want.Len() != 1 || got != want.Scores[0] {
+		t.Errorf("conjunctive = %v, chain = %v", got, want.Scores)
+	}
+}
+
+func TestRenamingFacade(t *testing.T) {
+	g, _, _ := courseGraph()
+	ren := map[string]string{"co": "offering-course", "os": "offering-subject"}
+	fwd := Renaming("r", ren)
+	inv, err := RenamingInverse("r⁻¹", ren)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VerifyInverse(g, fwd, inv) {
+		t.Error("renaming must round-trip")
+	}
+	if _, err := RenamingInverse("bad", map[string]string{"a": "x", "b": "x"}); err == nil {
+		t.Error("non-injective renaming must fail")
+	}
+}
