@@ -1,0 +1,123 @@
+// Command relsim-serve runs the RelSim query service: it loads a
+// built-in dataset or a graph file and serves similarity queries,
+// instance-level explanations and live graph mutations over HTTP/JSON.
+//
+// Usage:
+//
+//	relsim-serve -dataset dblp-small [-addr :8080]
+//	relsim-serve -in g.jsonl -schema dblp [-workers 8] [-cache-limit 512]
+//
+// Endpoints: POST /search, POST /batch, POST /explain,
+// POST /graph/edges, GET /healthz, GET /stats. See internal/server for
+// the request and response shapes, and the top-level README for curl
+// examples.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"relsim/internal/datasets"
+	"relsim/internal/graph"
+	"relsim/internal/schema"
+	"relsim/internal/server"
+	"relsim/internal/store"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "relsim-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("relsim-serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	dataset := fs.String("dataset", "", fmt.Sprintf("built-in dataset to serve %v", datasets.Names()))
+	in := fs.String("in", "", "graph file to serve (JSON lines, see internal/graph/io.go)")
+	schemaName := fs.String("schema", "", "built-in schema for Algorithm-1 expansion (dblp|wsu|biomed); defaults to the dataset's own schema")
+	workers := fs.Int("workers", server.DefaultWorkers, "default /batch worker-pool size")
+	cacheLimit := fs.Int("cache-limit", 0, "max cached commuting matrices, 0 = unbounded")
+	fs.Parse(args)
+
+	g, sc, err := load(*dataset, *in, *schemaName)
+	if err != nil {
+		return err
+	}
+	st := store.New(g)
+	srv := server.New(st, sc,
+		server.WithWorkers(*workers),
+		server.WithCacheLimit(*cacheLimit),
+	)
+
+	stats := st.Stats()
+	log.Printf("serving %d nodes, %d edges, labels %v on %s", stats.Nodes, stats.Edges, stats.Labels, *addr)
+
+	hs := &http.Server{Addr: *addr, Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		log.Printf("received %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			return err
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}
+
+// load builds the graph and schema from the flags: either a built-in
+// dataset (which brings its own schema unless -schema overrides it) or
+// a graph file plus an optional built-in schema.
+func load(dataset, in, schemaName string) (*graph.Graph, *schema.Schema, error) {
+	var override *schema.Schema
+	if schemaName != "" {
+		if override = datasets.SchemaByName(schemaName); override == nil {
+			return nil, nil, fmt.Errorf("unknown schema %q (have dblp|wsu|biomed)", schemaName)
+		}
+	}
+	switch {
+	case dataset != "" && in != "":
+		return nil, nil, fmt.Errorf("-dataset and -in are mutually exclusive")
+	case dataset != "":
+		ds, err := datasets.ByName(dataset)
+		if err != nil {
+			return nil, nil, err
+		}
+		if override != nil {
+			return ds.Graph, override, nil
+		}
+		return ds.Graph, ds.Schema, nil
+	case in != "":
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		g, err := graph.Read(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		return g, override, nil
+	}
+	return nil, nil, fmt.Errorf("one of -dataset or -in is required")
+}

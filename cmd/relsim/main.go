@@ -76,33 +76,11 @@ func saveGraph(path string, g *graph.Graph) error {
 }
 
 func datasetByName(name string) (datasets.Dataset, error) {
-	switch name {
-	case "dblp":
-		return datasets.DBLP(datasets.FullDBLP()), nil
-	case "dblp-small":
-		return datasets.DBLP(datasets.SmallDBLP()), nil
-	case "wsu":
-		return datasets.WSU(datasets.DefaultWSU()), nil
-	case "biomed":
-		return datasets.BioMed(datasets.DefaultBioMed()).Dataset, nil
-	case "biomed-small":
-		return datasets.BioMed(datasets.SmallBioMed()).Dataset, nil
-	case "mas":
-		return datasets.MAS(datasets.DefaultMAS()).Dataset, nil
-	}
-	return datasets.Dataset{}, fmt.Errorf("unknown dataset %q", name)
+	return datasets.ByName(name)
 }
 
 func schemaFor(name string) *relsim.Schema {
-	switch name {
-	case "dblp", "dblp-small":
-		return datasets.DBLPSchema()
-	case "wsu":
-		return datasets.WSUSchema()
-	case "biomed", "biomed-small":
-		return datasets.BioMedSchema()
-	}
-	return nil
+	return datasets.SchemaByName(name)
 }
 
 func runGen(args []string) error {

@@ -1,0 +1,3 @@
+module relsim
+
+go 1.24

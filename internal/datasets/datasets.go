@@ -13,6 +13,7 @@
 package datasets
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 
@@ -26,6 +27,53 @@ type Dataset struct {
 	Name   string
 	Graph  *graph.Graph
 	Schema *schema.Schema
+}
+
+// registry is the single source of truth for the named datasets: Names,
+// ByName and SchemaByName all derive from it, so they cannot drift. A
+// nil schema entry means the dataset has no canned tgd constraints.
+var registry = []struct {
+	name   string
+	build  func() Dataset
+	schema func() *schema.Schema
+}{
+	{"dblp", func() Dataset { return DBLP(FullDBLP()) }, DBLPSchema},
+	{"dblp-small", func() Dataset { return DBLP(SmallDBLP()) }, DBLPSchema},
+	{"wsu", func() Dataset { return WSU(DefaultWSU()) }, WSUSchema},
+	{"biomed", func() Dataset { return BioMed(DefaultBioMed()).Dataset }, BioMedSchema},
+	{"biomed-small", func() Dataset { return BioMed(SmallBioMed()).Dataset }, BioMedSchema},
+	{"mas", func() Dataset { return MAS(DefaultMAS()).Dataset }, nil},
+}
+
+// Names lists the dataset names accepted by ByName, in display order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.name
+	}
+	return out
+}
+
+// ByName generates the named dataset with its default (paper) config.
+// The accepted names are those of Names.
+func ByName(name string) (Dataset, error) {
+	for _, e := range registry {
+		if e.name == name {
+			return e.build(), nil
+		}
+	}
+	return Dataset{}, fmt.Errorf("datasets: unknown dataset %q (have %v)", name, Names())
+}
+
+// SchemaByName returns the tgd schema for a dataset or schema name, or
+// nil when the name has no canned constraints ("" and "mas" included).
+func SchemaByName(name string) *schema.Schema {
+	for _, e := range registry {
+		if e.name == name && e.schema != nil {
+			return e.schema()
+		}
+	}
+	return nil
 }
 
 // DegreeWeightedSample draws n distinct nodes of the given type, with

@@ -1,0 +1,120 @@
+package eval
+
+import "relsim/internal/sparse"
+
+// cacheEntry is one materialized commuting matrix together with the
+// label set of its pattern (for selective invalidation) and its last-use
+// tick (for LRU eviction).
+type cacheEntry struct {
+	m      *sparse.Matrix
+	labels []string
+	used   uint64
+}
+
+// CacheStats is a point-in-time snapshot of the commuting-matrix cache.
+type CacheStats struct {
+	Size          int    `json:"size"`
+	Limit         int    `json:"limit"`
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Evictions     uint64 `json:"evictions"`
+	Invalidations uint64 `json:"invalidations"`
+}
+
+// Stats returns the cache counters. Hits and misses count every
+// Commuting call, including the recursive sub-pattern calls.
+func (e *Evaluator) Stats() CacheStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return CacheStats{
+		Size:          len(e.cache),
+		Limit:         e.limit,
+		Hits:          e.hits,
+		Misses:        e.misses,
+		Evictions:     e.evictions,
+		Invalidations: e.invalidations,
+	}
+}
+
+// SetCacheLimit bounds the cache to at most n matrices, evicting the
+// least recently used entries when the bound is exceeded. n <= 0 removes
+// the bound (the default).
+func (e *Evaluator) SetCacheLimit(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.limit = n
+	e.evictLocked()
+}
+
+// InvalidateLabels evicts every cached matrix whose pattern mentions at
+// least one of the given labels, and returns the number evicted. This is
+// the incremental-invalidation hook for graph mutations: after adding or
+// removing an edge with label a, only patterns whose label set contains
+// a can have stale matrices; everything else survives.
+func (e *Evaluator) InvalidateLabels(labels ...string) int {
+	if len(labels) == 0 {
+		return 0
+	}
+	touched := make(map[string]bool, len(labels))
+	for _, l := range labels {
+		touched[l] = true
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for key, ent := range e.cache {
+		for _, l := range ent.labels {
+			if touched[l] {
+				delete(e.cache, key)
+				n++
+				break
+			}
+		}
+	}
+	e.invalidations += uint64(n)
+	e.gen++
+	return n
+}
+
+// InvalidateAll drops the whole cache. Required after any change to the
+// node count: commuting matrices are n×n, so every cached matrix (even
+// of patterns whose labels were untouched, and the ε identity) has the
+// wrong dimension afterwards.
+func (e *Evaluator) InvalidateAll() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := len(e.cache)
+	e.cache = make(map[string]*cacheEntry)
+	e.invalidations += uint64(n)
+	e.gen++
+	return n
+}
+
+// insertLocked stores an entry and enforces the LRU bound. e.mu held.
+func (e *Evaluator) insertLocked(key string, ent *cacheEntry) {
+	e.tick++
+	ent.used = e.tick
+	e.cache[key] = ent
+	e.evictLocked()
+}
+
+// evictLocked removes least-recently-used entries until the cache is
+// within the limit. e.mu held. The linear minimum scan is fine at the
+// cache sizes a bounded service runs with (hundreds of patterns).
+func (e *Evaluator) evictLocked() {
+	if e.limit <= 0 {
+		return
+	}
+	for len(e.cache) > e.limit {
+		var victim string
+		var oldest uint64
+		first := true
+		for key, ent := range e.cache {
+			if first || ent.used < oldest {
+				victim, oldest, first = key, ent.used, false
+			}
+		}
+		delete(e.cache, victim)
+		e.evictions++
+	}
+}

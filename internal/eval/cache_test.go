@@ -1,0 +1,132 @@
+package eval
+
+import (
+	"testing"
+
+	"relsim/internal/graph"
+	"relsim/internal/rre"
+)
+
+// cacheTestGraph builds a small graph with three labels so patterns over
+// disjoint label sets can be cached side by side.
+func cacheTestGraph() *graph.Graph {
+	g := graph.New()
+	n := make([]graph.NodeID, 4)
+	for i := range n {
+		n[i] = g.AddNode("", "")
+	}
+	g.AddEdge(n[0], "a", n[1])
+	g.AddEdge(n[1], "b", n[2])
+	g.AddEdge(n[2], "c", n[3])
+	g.AddEdge(n[0], "c", n[2])
+	return g
+}
+
+func TestInvalidateLabelsSelective(t *testing.T) {
+	g := cacheTestGraph()
+	ev := New(g)
+	pab := rre.MustParse("a.b")
+	pc := rre.MustParse("c")
+	ev.Materialize(pab, pc)
+	// Cached: "a.b" plus its factors "a" and "b", and "c".
+	if got := ev.CacheSize(); got != 4 {
+		t.Fatalf("CacheSize = %d, want 4", got)
+	}
+
+	// Touching label c must evict only "c".
+	if n := ev.InvalidateLabels("c"); n != 1 {
+		t.Errorf("InvalidateLabels(c) evicted %d, want 1", n)
+	}
+	if got := ev.CacheSize(); got != 3 {
+		t.Errorf("CacheSize after invalidating c = %d, want 3", got)
+	}
+
+	// The surviving "a.b" matrix is served from cache: a hit, no miss.
+	before := ev.Stats()
+	ev.Commuting(pab)
+	after := ev.Stats()
+	if after.Hits != before.Hits+1 || after.Misses != before.Misses {
+		t.Errorf("expected pure cache hit for a.b, got hits %d→%d misses %d→%d",
+			before.Hits, after.Hits, before.Misses, after.Misses)
+	}
+
+	// Touching label a evicts "a" and "a.b" but not "b".
+	if n := ev.InvalidateLabels("a"); n != 2 {
+		t.Errorf("InvalidateLabels(a) evicted %d, want 2", n)
+	}
+	if got := ev.CacheSize(); got != 1 {
+		t.Errorf("CacheSize = %d, want 1 (only b)", got)
+	}
+}
+
+func TestInvalidationReflectsNewEdges(t *testing.T) {
+	g := cacheTestGraph()
+	ev := New(g)
+	pc := rre.MustParse("c")
+	if got := ev.Commuting(pc).At(0, 3); got != 0 {
+		t.Fatalf("c(0,3) = %d, want 0", got)
+	}
+	g.AddEdge(0, "c", 3)
+	// Without invalidation the stale cached matrix is served.
+	if got := ev.Commuting(pc).At(0, 3); got != 0 {
+		t.Fatalf("stale read should still be 0, got %d", got)
+	}
+	ev.InvalidateLabels("c")
+	if got := ev.Commuting(pc).At(0, 3); got != 1 {
+		t.Errorf("after invalidation c(0,3) = %d, want 1", got)
+	}
+}
+
+func TestInvalidateAll(t *testing.T) {
+	g := cacheTestGraph()
+	ev := New(g)
+	ev.Materialize(rre.MustParse("a"), rre.MustParse("b"), rre.MustParse("c"))
+	if n := ev.InvalidateAll(); n != 3 {
+		t.Errorf("InvalidateAll = %d, want 3", n)
+	}
+	if got := ev.CacheSize(); got != 0 {
+		t.Errorf("CacheSize = %d, want 0", got)
+	}
+	if st := ev.Stats(); st.Invalidations != 3 {
+		t.Errorf("Invalidations = %d, want 3", st.Invalidations)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	g := cacheTestGraph()
+	ev := New(g)
+	ev.SetCacheLimit(2)
+	pa, pb, pc := rre.MustParse("a"), rre.MustParse("b"), rre.MustParse("c")
+	ev.Commuting(pa)
+	ev.Commuting(pb)
+	ev.Commuting(pa) // a is now more recently used than b
+	ev.Commuting(pc) // evicts b
+	if got := ev.CacheSize(); got != 2 {
+		t.Fatalf("CacheSize = %d, want 2", got)
+	}
+	st := ev.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("Evictions = %d, want 1", st.Evictions)
+	}
+	// a must still be cached (hit), b must have been the victim (miss).
+	before := ev.Stats()
+	ev.Commuting(pa)
+	if after := ev.Stats(); after.Hits != before.Hits+1 {
+		t.Error("a was evicted; wanted the LRU victim to be b")
+	}
+	before = ev.Stats()
+	ev.Commuting(pb)
+	if after := ev.Stats(); after.Misses != before.Misses+1 {
+		t.Error("b still cached; wanted it evicted as LRU")
+	}
+}
+
+func TestSetCacheLimitShrinks(t *testing.T) {
+	g := cacheTestGraph()
+	ev := New(g)
+	ev.Materialize(rre.MustParse("a"), rre.MustParse("b"), rre.MustParse("c"))
+	ev.SetCacheLimit(1)
+	if got := ev.CacheSize(); got != 1 {
+		t.Errorf("CacheSize after SetCacheLimit(1) = %d, want 1", got)
+	}
+}

@@ -30,21 +30,32 @@ import (
 	"relsim/internal/sparse"
 )
 
-// Evaluator evaluates RRE patterns over a fixed graph, caching commuting
+// Evaluator evaluates RRE patterns over a graph, caching commuting
 // matrices by the canonical string form of the pattern. It is safe for
 // concurrent use.
+//
+// The graph must not be mutated during an evaluation. Between
+// evaluations the graph may change, provided the owner reports every
+// change: call InvalidateLabels with the touched edge labels (cached
+// matrices of patterns mentioning those labels go stale) and
+// InvalidateAll after node-count changes (every matrix dimension goes
+// stale). internal/store wires this up automatically.
 type Evaluator struct {
 	g *graph.Graph
 
 	mu         sync.Mutex
-	cache      map[string]*sparse.Matrix
+	cache      map[string]*cacheEntry
+	limit      int    // max cached matrices; 0 = unbounded
+	tick       uint64 // logical clock for LRU recency
+	gen        uint64 // bumped by invalidation; see Commuting
 	noPlanning bool
+
+	hits, misses, evictions, invalidations uint64
 }
 
-// New returns an evaluator over g. The graph must not be mutated while
-// the evaluator is in use (cached matrices would go stale).
+// New returns an evaluator over g.
 func New(g *graph.Graph) *Evaluator {
-	return &Evaluator{g: g, cache: make(map[string]*sparse.Matrix)}
+	return &Evaluator{g: g, cache: make(map[string]*cacheEntry)}
 }
 
 // Graph returns the underlying graph.
@@ -71,16 +82,26 @@ func (e *Evaluator) Materialize(ps ...*rre.Pattern) {
 func (e *Evaluator) Commuting(p *rre.Pattern) *sparse.Matrix {
 	key := p.String()
 	e.mu.Lock()
-	if m, ok := e.cache[key]; ok {
+	if ent, ok := e.cache[key]; ok {
+		e.hits++
+		e.tick++
+		ent.used = e.tick
 		e.mu.Unlock()
-		return m
+		return ent.m
 	}
+	e.misses++
+	gen := e.gen
 	e.mu.Unlock()
 
 	m := e.compute(p)
 
 	e.mu.Lock()
-	e.cache[key] = m
+	// If an invalidation ran while we computed, the matrix may reflect a
+	// graph state that is already stale: return it to this caller (the
+	// read raced the write regardless) but do not poison the cache.
+	if e.gen == gen {
+		e.insertLocked(key, &cacheEntry{m: m, labels: p.Labels()})
+	}
 	e.mu.Unlock()
 	return m
 }

@@ -2,6 +2,7 @@ package eval
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"relsim/internal/graph"
@@ -20,6 +21,22 @@ type Instance struct {
 // String renders the instance sequence, e.g. "0 -a→ 3 -<b.c>→ 5".
 func (in Instance) String() string {
 	return strings.Join(in.Seq, " ")
+}
+
+// Render renders the instance for display, substituting node names for
+// node-id entries where available. An entry is a node id only if the
+// whole token parses as an integer — "12x" is a label, not node 12.
+func (in Instance) Render(g *graph.Graph) string {
+	parts := make([]string, len(in.Seq))
+	for i, s := range in.Seq {
+		parts[i] = s
+		if id, err := strconv.Atoi(s); err == nil && g.Has(graph.NodeID(id)) {
+			if name := g.Node(graph.NodeID(id)).Name; name != "" {
+				parts[i] = name
+			}
+		}
+	}
+	return strings.Join(parts, " → ")
 }
 
 // Instances enumerates up to limit instances of p from u to v,

@@ -45,14 +45,19 @@ type Graph struct {
 
 	byName map[string]NodeID
 	edges  int
+	// perLabel counts edges per label so removing the last edge of a
+	// label can drop it from Labels in O(1) instead of scanning the
+	// adjacency.
+	perLabel map[string]int
 }
 
 // New returns an empty graph.
 func New() *Graph {
 	return &Graph{
-		out:    make(map[string][][]NodeID),
-		in:     make(map[string][][]NodeID),
-		byName: make(map[string]NodeID),
+		out:      make(map[string][][]NodeID),
+		in:       make(map[string][][]NodeID),
+		byName:   make(map[string]NodeID),
+		perLabel: make(map[string]int),
 	}
 }
 
@@ -88,6 +93,7 @@ func (g *Graph) AddEdge(u NodeID, label string, v NodeID) {
 	}
 	o[u] = append(o[u], v)
 	g.out[label] = o
+	g.perLabel[label]++
 
 	in := g.in[label]
 	if in == nil {
@@ -99,6 +105,45 @@ func (g *Graph) AddEdge(u NodeID, label string, v NodeID) {
 	in[v] = append(in[v], u)
 	g.in[label] = in
 	g.edges++
+}
+
+// RemoveEdge removes one (u, label, v) edge and reports whether an edge
+// was removed. Parallel edges are removed one occurrence at a time. When
+// the last edge of a label is removed the label disappears from Labels.
+func (g *Graph) RemoveEdge(u NodeID, label string, v NodeID) bool {
+	if !g.Has(u) || !g.Has(v) {
+		return false
+	}
+	o := g.out[label]
+	if int(u) >= len(o) {
+		return false
+	}
+	idx := -1
+	for i, w := range o[u] {
+		if w == v {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	o[u] = append(o[u][:idx], o[u][idx+1:]...)
+	in := g.in[label]
+	for i, w := range in[v] {
+		if w == u {
+			in[v] = append(in[v][:i], in[v][i+1:]...)
+			break
+		}
+	}
+	g.edges--
+	g.perLabel[label]--
+	if g.perLabel[label] <= 0 {
+		delete(g.out, label)
+		delete(g.in, label)
+		delete(g.perLabel, label)
+	}
+	return true
 }
 
 // Has reports whether id is a node of the graph.
@@ -272,6 +317,9 @@ func (g *Graph) Clone() *Graph {
 		c.in[l] = ci
 	}
 	c.edges = g.edges
+	for l, n := range g.perLabel {
+		c.perLabel[l] = n
+	}
 	return c
 }
 

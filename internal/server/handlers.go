@@ -1,0 +1,452 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"relsim/internal/eval"
+	"relsim/internal/graph"
+	"relsim/internal/pattern"
+	"relsim/internal/rre"
+	"relsim/internal/sim"
+	"relsim/internal/store"
+)
+
+// SearchRequest is the POST /search body. Query is a node display name
+// or a decimal node id. Alg defaults to "search", the structurally
+// robust pipeline; "relsim", "pathsim" and "hetesim" score the pattern
+// as given, "rwr" and "simrank" ignore the pattern.
+type SearchRequest struct {
+	Pattern  string `json:"pattern"`
+	Query    string `json:"query"`
+	Type     string `json:"type,omitempty"`
+	Top      int    `json:"top,omitempty"`
+	NoExpand bool   `json:"no_expand,omitempty"`
+	Alg      string `json:"alg,omitempty"`
+}
+
+// ScoredNode is one ranked answer.
+type ScoredNode struct {
+	ID    graph.NodeID `json:"id"`
+	Name  string       `json:"name,omitempty"`
+	Score float64      `json:"score"`
+}
+
+// SearchResponse is the POST /search body and one /batch result.
+type SearchResponse struct {
+	Query    string       `json:"query"`
+	QueryID  graph.NodeID `json:"query_id"`
+	Pattern  string       `json:"pattern,omitempty"`
+	Alg      string       `json:"alg"`
+	Expanded int          `json:"expanded,omitempty"`
+	Version  uint64       `json:"version"`
+	Results  []ScoredNode `json:"results"`
+}
+
+const defaultTop = 10
+
+// runSearch answers one query against g. Callers hold the store's read
+// lock, so the evaluation sees one consistent graph version.
+func (s *Server) runSearch(g *graph.Graph, version uint64, req *SearchRequest) (*SearchResponse, error) {
+	q, ok := resolveNode(g, req.Query)
+	if !ok {
+		return nil, fmt.Errorf("query node %q not found", req.Query)
+	}
+	var candidates []graph.NodeID
+	if req.Type != "" {
+		// Keep the slice non-nil even when no node has the type: nil
+		// means "unrestricted" to the sim package, and a typo'd type
+		// must yield an empty answer, not an unfiltered one.
+		if candidates = g.NodesOfType(req.Type); candidates == nil {
+			candidates = []graph.NodeID{}
+		}
+	}
+	alg := req.Alg
+	if alg == "" {
+		alg = "search"
+	}
+
+	var (
+		rank     sim.Ranking
+		expanded int
+	)
+	switch alg {
+	case "rwr":
+		rank = sim.RWR(s.ev, sim.DefaultRWR(), q, candidates)
+	case "simrank":
+		rank = sim.SimRankMC(s.ev, sim.DefaultSimRank(), q, candidates)
+	default:
+		ps, wasExpanded, err := s.queryPatterns(req)
+		if err != nil {
+			return nil, err
+		}
+		switch alg {
+		case "search":
+			if wasExpanded {
+				expanded = len(ps)
+			}
+			rank = sim.RelSimAggregate(s.ev, ps, q, candidates)
+		case "relsim":
+			rank = sim.RelSim(s.ev, ps[0], q, candidates)
+		case "pathsim":
+			rank, err = sim.PathSim(s.ev, ps[0], q, candidates)
+			if err != nil {
+				return nil, err
+			}
+		case "hetesim":
+			rank = sim.HeteSimRRE(s.ev, ps[0], q, candidates)
+		default:
+			return nil, fmt.Errorf("unknown alg %q", alg)
+		}
+	}
+
+	top := req.Top
+	if top <= 0 {
+		top = defaultTop
+	}
+	rank = rank.TopK(top)
+	results := make([]ScoredNode, rank.Len())
+	for i, id := range rank.IDs {
+		results[i] = ScoredNode{ID: id, Name: g.Node(id).Name, Score: rank.Scores[i]}
+	}
+	return &SearchResponse{
+		Query:    req.Query,
+		QueryID:  q,
+		Pattern:  req.Pattern,
+		Alg:      alg,
+		Expanded: expanded,
+		Version:  version,
+		Results:  results,
+	}, nil
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	s.nSearch.Add(1)
+	var req SearchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var resp *SearchResponse
+	err := s.st.Read(func(g *graph.Graph, version uint64) error {
+		var err error
+		resp, err = s.runSearch(g, version, &req)
+		return err
+	})
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// BatchRequest is the POST /batch body. Workers overrides the server's
+// worker-pool size for this batch only.
+type BatchRequest struct {
+	Queries []SearchRequest `json:"queries"`
+	Workers int             `json:"workers,omitempty"`
+}
+
+// BatchResult is one per-query outcome; exactly one of Response/Error is
+// set.
+type BatchResult struct {
+	*SearchResponse
+	Error string `json:"error,omitempty"`
+}
+
+// BatchResponse is the POST /batch body. Results align with the request
+// queries by index.
+type BatchResponse struct {
+	Version uint64        `json:"version"`
+	Results []BatchResult `json:"results"`
+}
+
+// handleBatch answers many queries under one read lock: the distinct
+// pattern set of the whole batch (after Algorithm-1 expansion) is
+// materialized once, then a worker pool scores the queries against the
+// hot cache. This amortizes both the lock acquisition and the commuting
+// matrix computation across the batch.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.nBatch.Add(1)
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.workers
+	}
+	if workers > len(req.Queries) && len(req.Queries) > 0 {
+		workers = len(req.Queries)
+	}
+
+	resp := BatchResponse{Results: make([]BatchResult, len(req.Queries))}
+	s.st.Read(func(g *graph.Graph, version uint64) error {
+		resp.Version = version
+		s.ev.Materialize(s.batchPatterns(req.Queries)...)
+
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					res, err := s.runSearch(g, resp.Version, &req.Queries[i])
+					if err != nil {
+						s.nErrors.Add(1)
+						resp.Results[i] = BatchResult{Error: err.Error()}
+					} else {
+						resp.Results[i] = BatchResult{SearchResponse: res}
+					}
+				}
+			}()
+		}
+		for i := range req.Queries {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		return nil
+	})
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// queryPatterns resolves the pattern set a query scores: the
+// Algorithm-1 expansion E_p for the robust "search" pipeline on a
+// simple pattern, otherwise the pattern itself as a singleton. It
+// returns (nil, false, nil) for the pattern-free algorithms. Both
+// runSearch and batchPatterns dispatch through it, so /batch always
+// pre-materializes exactly the matrices the workers will need.
+func (s *Server) queryPatterns(req *SearchRequest) (ps []*rre.Pattern, expanded bool, err error) {
+	if req.Alg == "rwr" || req.Alg == "simrank" {
+		return nil, false, nil
+	}
+	if req.Pattern == "" {
+		alg := req.Alg
+		if alg == "" {
+			alg = "search"
+		}
+		return nil, false, fmt.Errorf("pattern is required for alg %q", alg)
+	}
+	p, err := rre.Parse(req.Pattern)
+	if err != nil {
+		return nil, false, err
+	}
+	if (req.Alg == "" || req.Alg == "search") && p.IsSimple() && !req.NoExpand {
+		ps, err := s.expandPattern(p)
+		if err != nil {
+			return nil, false, err
+		}
+		return ps, true, nil
+	}
+	return []*rre.Pattern{p}, false, nil
+}
+
+// expandPattern runs Algorithm 1 through the server's memo, so repeated
+// queries on the same pattern (one /batch worker after another, or
+// request after request) expand once.
+func (s *Server) expandPattern(p *rre.Pattern) ([]*rre.Pattern, error) {
+	key := p.String()
+	s.expandMu.Lock()
+	ps, ok := s.expand[key]
+	s.expandMu.Unlock()
+	if ok {
+		return ps, nil
+	}
+	ps, err := pattern.Generate(s.schema, p, s.genOpt)
+	if err != nil {
+		return nil, err
+	}
+	s.expandMu.Lock()
+	s.expand[key] = ps
+	s.expandMu.Unlock()
+	return ps, nil
+}
+
+// batchPatterns collects the distinct patterns a batch will score so
+// one Materialize pass precomputes every matrix the workers need.
+// Queries whose pattern fails to parse or expand are skipped here; the
+// worker reports their error.
+func (s *Server) batchPatterns(queries []SearchRequest) []*rre.Pattern {
+	seen := make(map[string]bool)
+	var out []*rre.Pattern
+	for i := range queries {
+		ps, _, err := s.queryPatterns(&queries[i])
+		if err != nil {
+			continue
+		}
+		for _, p := range ps {
+			if key := p.String(); !seen[key] {
+				seen[key] = true
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// ExplainRequest is the POST /explain body: enumerate instances of
+// Pattern from node From to node To (names or ids), up to Limit.
+type ExplainRequest struct {
+	Pattern string `json:"pattern"`
+	From    string `json:"from"`
+	To      string `json:"to"`
+	Limit   int    `json:"limit,omitempty"`
+}
+
+// ExplainResponse is the POST /explain body: the instance count |I^{u,v}(p)|,
+// the Equation-1 score, and the rendered traversal sequences.
+type ExplainResponse struct {
+	Pattern   string       `json:"pattern"`
+	FromID    graph.NodeID `json:"from_id"`
+	ToID      graph.NodeID `json:"to_id"`
+	Count     int64        `json:"count"`
+	Score     float64      `json:"score"`
+	Version   uint64       `json:"version"`
+	Instances []string     `json:"instances"`
+}
+
+const defaultExplainLimit = 10
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	s.nExplain.Add(1)
+	var req ExplainRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	p, err := rre.Parse(req.Pattern)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	limit := req.Limit
+	if limit <= 0 {
+		limit = defaultExplainLimit
+	}
+	var resp ExplainResponse
+	err = s.st.Read(func(g *graph.Graph, version uint64) error {
+		u, ok := resolveNode(g, req.From)
+		if !ok {
+			return fmt.Errorf("from node %q not found", req.From)
+		}
+		v, ok := resolveNode(g, req.To)
+		if !ok {
+			return fmt.Errorf("to node %q not found", req.To)
+		}
+		m := s.ev.Commuting(p)
+		ins := s.ev.Instances(p, u, v, limit)
+		rendered := make([]string, len(ins))
+		for i, in := range ins {
+			rendered[i] = in.Render(g)
+		}
+		resp = ExplainResponse{
+			Pattern:   req.Pattern,
+			FromID:    u,
+			ToID:      v,
+			Count:     m.At(int(u), int(v)),
+			Score:     eval.PathSimScore(m, u, v),
+			Version:   version,
+			Instances: rendered,
+		}
+		return nil
+	})
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// NodeSpec is one node to add.
+type NodeSpec struct {
+	Name string `json:"name,omitempty"`
+	Type string `json:"type,omitempty"`
+}
+
+// EdgeSpec is one edge to add or remove; endpoints are display names or
+// decimal node ids, and may reference nodes added earlier in the same
+// request.
+type EdgeSpec struct {
+	From  string `json:"from"`
+	Label string `json:"label"`
+	To    string `json:"to"`
+}
+
+// MutationRequest is the POST /graph/edges body. AddNodes apply first,
+// then Add, then Remove. The batch is applied in order under one write
+// lock; on the first failing operation the request stops and reports the
+// error, with earlier operations already applied (the response carries
+// the counts and the reached version either way).
+type MutationRequest struct {
+	AddNodes []NodeSpec `json:"add_nodes,omitempty"`
+	Add      []EdgeSpec `json:"add,omitempty"`
+	Remove   []EdgeSpec `json:"remove,omitempty"`
+}
+
+// MutationResponse is the POST /graph/edges body.
+type MutationResponse struct {
+	Version      uint64         `json:"version"`
+	NodesAdded   []graph.NodeID `json:"nodes_added,omitempty"`
+	EdgesAdded   int            `json:"edges_added"`
+	EdgesRemoved int            `json:"edges_removed"`
+	Error        string         `json:"error,omitempty"`
+}
+
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	s.nMutate.Add(1)
+	var req MutationRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var resp MutationResponse
+	err := s.st.Update(func(tx *store.Tx) error {
+		// Capture the version under the write lock; after commit it may
+		// already include other writers' mutations.
+		defer func() { resp.Version = tx.Version() }()
+		for _, ns := range req.AddNodes {
+			resp.NodesAdded = append(resp.NodesAdded, tx.AddNode(ns.Name, ns.Type))
+		}
+		for _, es := range req.Add {
+			u, ok := resolveNode(tx.Graph(), es.From)
+			if !ok {
+				return fmt.Errorf("add: from node %q not found", es.From)
+			}
+			v, ok := resolveNode(tx.Graph(), es.To)
+			if !ok {
+				return fmt.Errorf("add: to node %q not found", es.To)
+			}
+			if err := tx.AddEdge(u, es.Label, v); err != nil {
+				return err
+			}
+			resp.EdgesAdded++
+		}
+		for _, es := range req.Remove {
+			u, ok := resolveNode(tx.Graph(), es.From)
+			if !ok {
+				return fmt.Errorf("remove: from node %q not found", es.From)
+			}
+			v, ok := resolveNode(tx.Graph(), es.To)
+			if !ok {
+				return fmt.Errorf("remove: to node %q not found", es.To)
+			}
+			if err := tx.RemoveEdge(u, es.Label, v); err != nil {
+				return err
+			}
+			resp.EdgesRemoved++
+		}
+		return nil
+	})
+	if err != nil {
+		resp.Error = err.Error()
+		s.nErrors.Add(1)
+		s.writeJSON(w, http.StatusBadRequest, resp)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}

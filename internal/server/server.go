@@ -1,0 +1,204 @@
+// Package server exposes the RelSim query engine as a concurrent
+// HTTP/JSON service over a store.Store:
+//
+//	POST /search       one similarity query (structurally robust pipeline)
+//	POST /batch        many queries, amortizing materialization across a worker pool
+//	POST /explain      instance-level provenance: why are u and v similar under p?
+//	POST /graph/edges  mutations: add nodes, add edges, remove edges
+//	GET  /healthz      liveness
+//	GET  /stats        store version, graph size, cache and request counters
+//
+// Queries run under the store's read lock; mutations run under its
+// write lock and drive incremental invalidation of the evaluator's
+// commuting-matrix cache — only cached patterns whose label set
+// intersects the touched edge labels are evicted, so a write to label
+// "cites" leaves the materialized "author.author-" matrices hot.
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"relsim/internal/eval"
+	"relsim/internal/graph"
+	"relsim/internal/pattern"
+	"relsim/internal/rre"
+	"relsim/internal/schema"
+	"relsim/internal/store"
+)
+
+// DefaultWorkers is the /batch worker-pool size when the request does
+// not choose one.
+const DefaultWorkers = 4
+
+// Server is the HTTP handler. Construct with New; the zero value is not
+// usable.
+type Server struct {
+	st      *store.Store
+	ev      *eval.Evaluator
+	schema  *schema.Schema
+	genOpt  pattern.Options
+	workers int
+	mux     *http.ServeMux
+	start   time.Time
+
+	// expand memoizes Algorithm-1 expansions by input pattern string.
+	// The schema and generation options are fixed for the server's
+	// lifetime, so entries never go stale — unlike commuting matrices,
+	// expansions do not depend on the graph's edges.
+	expandMu sync.Mutex
+	expand   map[string][]*rre.Pattern
+
+	nSearch, nBatch, nExplain, nMutate, nErrors atomic.Uint64
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithWorkers sets the default /batch worker-pool size.
+func WithWorkers(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.workers = n
+		}
+	}
+}
+
+// WithCacheLimit bounds the evaluator's commuting-matrix cache to n
+// matrices (LRU eviction). n <= 0 leaves it unbounded.
+func WithCacheLimit(n int) Option {
+	return func(s *Server) { s.ev.SetCacheLimit(n) }
+}
+
+// WithGenOptions overrides the Algorithm-1 expansion options used by the
+// structurally robust search pipeline.
+func WithGenOptions(opt pattern.Options) Option {
+	return func(s *Server) { s.genOpt = opt }
+}
+
+// New builds a server over st. sc may be nil; the schema then has no
+// constraints and simple patterns are scored without expansion (the
+// label set is taken from the graph at construction time). The server
+// registers itself as the store's update observer so mutations evict
+// exactly the stale cached matrices.
+func New(st *store.Store, sc *schema.Schema, opts ...Option) *Server {
+	if sc == nil {
+		sc = schema.New(st.Graph().Labels())
+	}
+	s := &Server{
+		st:      st,
+		ev:      eval.New(st.Graph()),
+		schema:  sc,
+		genOpt:  pattern.Default(),
+		workers: DefaultWorkers,
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+		expand:  make(map[string][]*rre.Pattern),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	st.OnUpdate(s.applyInvalidation)
+	s.mux.HandleFunc("POST /search", s.handleSearch)
+	s.mux.HandleFunc("POST /batch", s.handleBatch)
+	s.mux.HandleFunc("POST /explain", s.handleExplain)
+	s.mux.HandleFunc("POST /graph/edges", s.handleMutate)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Evaluator returns the server's evaluator (tests and stats probing).
+func (s *Server) Evaluator() *eval.Evaluator { return s.ev }
+
+// applyInvalidation translates an update batch into the narrowest cache
+// eviction: node additions change the matrix dimension, so everything
+// goes; otherwise only patterns mentioning a touched edge label go. It
+// runs under the store's write lock, so no reader can repopulate the
+// cache from the pre-mutation graph in between.
+func (s *Server) applyInvalidation(updates []store.Update) {
+	labels := make(map[string]bool)
+	for _, u := range updates {
+		if u.Op == store.OpAddNode {
+			s.ev.InvalidateAll()
+			return
+		}
+		labels[u.Edge.Label] = true
+	}
+	ls := make([]string, 0, len(labels))
+	for l := range labels {
+		ls = append(ls, l)
+	}
+	s.ev.InvalidateLabels(ls...)
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.nErrors.Add(1)
+	s.writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// HealthzResponse is the GET /healthz body.
+type HealthzResponse struct {
+	Status  string `json:"status"`
+	Version uint64 `json:"version"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, HealthzResponse{Status: "ok", Version: s.st.Version()})
+}
+
+// StatsResponse is the GET /stats body.
+type StatsResponse struct {
+	Store         store.Stats       `json:"store"`
+	Cache         eval.CacheStats   `json:"cache"`
+	Requests      map[string]uint64 `json:"requests"`
+	UptimeSeconds float64           `json:"uptime_seconds"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, StatsResponse{
+		Store: s.st.Stats(),
+		Cache: s.ev.Stats(),
+		Requests: map[string]uint64{
+			"search":    s.nSearch.Load(),
+			"batch":     s.nBatch.Load(),
+			"explain":   s.nExplain.Load(),
+			"mutations": s.nMutate.Load(),
+			"errors":    s.nErrors.Load(),
+		},
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	})
+}
+
+// resolveNode resolves a node reference: first as a display name, then
+// as a decimal node id.
+func resolveNode(g *graph.Graph, ref string) (graph.NodeID, bool) {
+	if n, ok := g.NodeByName(ref); ok {
+		return n.ID, true
+	}
+	id, err := strconv.Atoi(ref)
+	if err != nil || id < 0 || !g.Has(graph.NodeID(id)) {
+		return 0, false
+	}
+	return graph.NodeID(id), true
+}

@@ -1,0 +1,225 @@
+// Package store wraps graph.Graph in a versioned, mutable store: every
+// mutation runs under a write lock, bumps a monotonically increasing
+// version number, and is appended to a bounded update log. Readers take
+// a shared read lock for the duration of an evaluation, so a query
+// always sees one consistent graph version.
+//
+// The update log is what makes live serving compatible with the
+// evaluator's commuting-matrix cache: an eval.Evaluator caches M_p per
+// pattern and those matrices go stale when the graph changes. The store
+// reports every change to a registered observer (see OnUpdate), which
+// internal/server uses to evict exactly the cached matrices whose
+// pattern mentions a touched edge label — incremental invalidation
+// instead of a full cache flush on every write.
+package store
+
+import (
+	"fmt"
+	"sync"
+
+	"relsim/internal/graph"
+)
+
+// Op discriminates update-log records.
+type Op string
+
+// The mutation kinds recorded in the update log.
+const (
+	OpAddNode    Op = "add-node"
+	OpAddEdge    Op = "add-edge"
+	OpRemoveEdge Op = "remove-edge"
+)
+
+// Update is one record of the update log: the mutation and the version
+// the store reached by applying it.
+type Update struct {
+	Version uint64       `json:"version"`
+	Op      Op           `json:"op"`
+	Node    graph.NodeID `json:"node"` // OpAddNode
+	Edge    graph.Edge   `json:"edge"` // edge ops
+}
+
+// DefaultLogCap bounds the retained update log. Older records are
+// dropped; the version counter itself is never reset.
+const DefaultLogCap = 256
+
+// Store is a versioned, mutable graph store safe for concurrent use.
+type Store struct {
+	mu       sync.RWMutex
+	g        *graph.Graph
+	version  uint64
+	log      []Update
+	logCap   int
+	onUpdate func([]Update)
+}
+
+// New wraps g in a store. The caller must not mutate or read g directly
+// afterwards; all access goes through the store.
+func New(g *graph.Graph) *Store {
+	if g == nil {
+		g = graph.New()
+	}
+	return &Store{g: g, logCap: DefaultLogCap}
+}
+
+// OnUpdate registers fn to observe every applied mutation batch. fn runs
+// while the write lock is held — before any subsequent reader can see
+// the new graph state — which is what lets an observer invalidate
+// derived caches without a window where a reader could re-populate them
+// from the old state. Keep fn fast; it must not call back into the
+// store. Only one observer is supported; a second call replaces it.
+func (s *Store) OnUpdate(fn func([]Update)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onUpdate = fn
+}
+
+// Version returns the current store version: the number of mutations
+// ever applied. It starts at 0 and bumps by one per mutation.
+func (s *Store) Version() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
+}
+
+// Graph returns the wrapped graph. The pointer is stable across
+// mutations (evaluators may hold it), but it must only be dereferenced
+// inside Read or Update — unguarded access races with writers.
+func (s *Store) Graph() *graph.Graph { return s.g }
+
+// Read runs fn under the shared read lock, passing the graph and the
+// version it is at. fn must not mutate the graph, retain it past the
+// call, or call back into the store (a nested lock acquisition can
+// deadlock against a queued writer). All evaluation over a live store
+// belongs inside Read so a query sees one consistent version end to end.
+func (s *Store) Read(fn func(g *graph.Graph, version uint64) error) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return fn(s.g, s.version)
+}
+
+// Log returns the retained update records with version > since, oldest
+// first. Records older than the retention bound are gone; a caller that
+// finds a gap (first returned version > since+1) must resynchronize.
+func (s *Store) Log(since uint64) []Update {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Update
+	for _, u := range s.log {
+		if u.Version > since {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// Stats summarizes the store for monitoring.
+type Stats struct {
+	Version uint64   `json:"version"`
+	Nodes   int      `json:"nodes"`
+	Edges   int      `json:"edges"`
+	Labels  []string `json:"labels"`
+}
+
+// Stats returns a consistent snapshot of version and graph size.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{Version: s.version, Nodes: s.g.NumNodes(), Edges: s.g.NumEdges(), Labels: s.g.Labels()}
+}
+
+// Tx is a write transaction: a batch of mutations applied under one
+// write lock. Obtain one via Update.
+type Tx struct {
+	s       *Store
+	updates []Update
+}
+
+// Graph exposes the graph for read-your-writes resolution (for example
+// looking up a node added earlier in the same transaction). The write
+// lock is held, so plain reads are safe; mutate only via the Tx methods
+// so the version counter and update log stay truthful.
+func (tx *Tx) Graph() *graph.Graph { return tx.s.g }
+
+// AddNode adds a node and returns its id.
+func (tx *Tx) AddNode(name, typ string) graph.NodeID {
+	id := tx.s.g.AddNode(name, typ)
+	tx.record(Update{Op: OpAddNode, Node: id})
+	return id
+}
+
+// AddEdge adds the edge (u, label, v), validating endpoints and label.
+func (tx *Tx) AddEdge(u graph.NodeID, label string, v graph.NodeID) error {
+	if !tx.s.g.Has(u) || !tx.s.g.Has(v) {
+		return fmt.Errorf("store: add edge (%d,%q,%d): endpoint does not exist", u, label, v)
+	}
+	if label == "" {
+		return fmt.Errorf("store: add edge (%d,,%d): empty label", u, v)
+	}
+	tx.s.g.AddEdge(u, label, v)
+	tx.record(Update{Op: OpAddEdge, Edge: graph.Edge{From: u, Label: label, To: v}})
+	return nil
+}
+
+// RemoveEdge removes one (u, label, v) edge.
+func (tx *Tx) RemoveEdge(u graph.NodeID, label string, v graph.NodeID) error {
+	if !tx.s.g.RemoveEdge(u, label, v) {
+		return fmt.Errorf("store: remove edge (%d,%q,%d): no such edge", u, label, v)
+	}
+	tx.record(Update{Op: OpRemoveEdge, Edge: graph.Edge{From: u, Label: label, To: v}})
+	return nil
+}
+
+// Version returns the store version as of the transaction's last
+// mutation. Captured under the write lock, it is the watermark to hand
+// back to clients: reading Store.Version after the transaction commits
+// can already include other writers' mutations.
+func (tx *Tx) Version() uint64 { return tx.s.version }
+
+func (tx *Tx) record(u Update) {
+	tx.s.version++
+	u.Version = tx.s.version
+	tx.updates = append(tx.updates, u)
+}
+
+// Update runs fn as a write transaction. Mutations apply in order as fn
+// makes them; if fn returns an error, mutations already applied persist
+// (there is no rollback) and the error is returned, so validate before
+// mutating when a batch must be all-or-nothing. The registered OnUpdate
+// observer sees every applied record either way.
+func (s *Store) Update(fn func(tx *Tx) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tx := &Tx{s: s}
+	err := fn(tx)
+	if len(tx.updates) > 0 {
+		s.log = append(s.log, tx.updates...)
+		if over := len(s.log) - s.logCap; over > 0 {
+			s.log = append(s.log[:0:0], s.log[over:]...)
+		}
+		if s.onUpdate != nil {
+			s.onUpdate(tx.updates)
+		}
+	}
+	return err
+}
+
+// AddNode adds a single node outside a batch.
+func (s *Store) AddNode(name, typ string) graph.NodeID {
+	var id graph.NodeID
+	s.Update(func(tx *Tx) error {
+		id = tx.AddNode(name, typ)
+		return nil
+	})
+	return id
+}
+
+// AddEdge adds a single edge outside a batch.
+func (s *Store) AddEdge(u graph.NodeID, label string, v graph.NodeID) error {
+	return s.Update(func(tx *Tx) error { return tx.AddEdge(u, label, v) })
+}
+
+// RemoveEdge removes a single edge outside a batch.
+func (s *Store) RemoveEdge(u graph.NodeID, label string, v graph.NodeID) error {
+	return s.Update(func(tx *Tx) error { return tx.RemoveEdge(u, label, v) })
+}

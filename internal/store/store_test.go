@@ -1,0 +1,170 @@
+package store
+
+import (
+	"sync"
+	"testing"
+
+	"relsim/internal/graph"
+)
+
+func newTestStore(t *testing.T) (*Store, graph.NodeID, graph.NodeID) {
+	t.Helper()
+	g := graph.New()
+	a := g.AddNode("a", "t")
+	b := g.AddNode("b", "t")
+	g.AddEdge(a, "x", b)
+	return New(g), a, b
+}
+
+func TestVersionMonotonic(t *testing.T) {
+	s, a, b := newTestStore(t)
+	if s.Version() != 0 {
+		t.Fatalf("fresh store version = %d, want 0", s.Version())
+	}
+	if err := s.AddEdge(a, "y", b); err != nil {
+		t.Fatal(err)
+	}
+	if s.Version() != 1 {
+		t.Fatalf("after AddEdge version = %d, want 1", s.Version())
+	}
+	c := s.AddNode("c", "t")
+	if s.Version() != 2 {
+		t.Fatalf("after AddNode version = %d, want 2", s.Version())
+	}
+	if err := s.AddEdge(b, "y", c); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RemoveEdge(b, "y", c); err != nil {
+		t.Fatal(err)
+	}
+	if s.Version() != 4 {
+		t.Fatalf("version = %d, want 4", s.Version())
+	}
+}
+
+func TestMutationsValidate(t *testing.T) {
+	s, a, _ := newTestStore(t)
+	if err := s.AddEdge(a, "x", 99); err == nil {
+		t.Error("AddEdge to missing node: want error")
+	}
+	if err := s.AddEdge(a, "", a); err == nil {
+		t.Error("AddEdge with empty label: want error")
+	}
+	if err := s.RemoveEdge(a, "nope", a); err == nil {
+		t.Error("RemoveEdge of missing edge: want error")
+	}
+	if s.Version() != 0 {
+		t.Errorf("failed mutations bumped version to %d", s.Version())
+	}
+}
+
+func TestRemoveEdgeRoundTrip(t *testing.T) {
+	s, a, b := newTestStore(t)
+	if err := s.RemoveEdge(a, "x", b); err != nil {
+		t.Fatal(err)
+	}
+	s.Read(func(g *graph.Graph, _ uint64) error {
+		if g.NumEdges() != 0 {
+			t.Errorf("NumEdges = %d, want 0", g.NumEdges())
+		}
+		if g.HasLabel("x") {
+			t.Error("label x still present after removing its last edge")
+		}
+		return nil
+	})
+	if err := s.AddEdge(a, "x", b); err != nil {
+		t.Fatal(err)
+	}
+	s.Read(func(g *graph.Graph, _ uint64) error {
+		if !g.HasEdge(a, "x", b) {
+			t.Error("edge missing after re-add")
+		}
+		return nil
+	})
+}
+
+func TestUpdateLogAndObserver(t *testing.T) {
+	s, a, b := newTestStore(t)
+	var observed []Update
+	s.OnUpdate(func(us []Update) { observed = append(observed, us...) })
+
+	err := s.Update(func(tx *Tx) error {
+		c := tx.AddNode("c", "t")
+		if err := tx.AddEdge(b, "y", c); err != nil {
+			return err
+		}
+		return tx.RemoveEdge(a, "x", b)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(observed) != 3 {
+		t.Fatalf("observer saw %d updates, want 3", len(observed))
+	}
+	wantOps := []Op{OpAddNode, OpAddEdge, OpRemoveEdge}
+	for i, u := range observed {
+		if u.Op != wantOps[i] {
+			t.Errorf("update %d op = %s, want %s", i, u.Op, wantOps[i])
+		}
+		if u.Version != uint64(i+1) {
+			t.Errorf("update %d version = %d, want %d", i, u.Version, i+1)
+		}
+	}
+	log := s.Log(0)
+	if len(log) != 3 {
+		t.Fatalf("Log(0) returned %d records, want 3", len(log))
+	}
+	if tail := s.Log(2); len(tail) != 1 || tail[0].Op != OpRemoveEdge {
+		t.Errorf("Log(2) = %+v, want the remove-edge record only", tail)
+	}
+}
+
+func TestLogRetentionBound(t *testing.T) {
+	s, a, b := newTestStore(t)
+	for i := 0; i < DefaultLogCap+10; i++ {
+		if err := s.AddEdge(a, "x", b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	log := s.Log(0)
+	if len(log) != DefaultLogCap {
+		t.Fatalf("retained %d records, want %d", len(log), DefaultLogCap)
+	}
+	if got, want := log[len(log)-1].Version, s.Version(); got != want {
+		t.Errorf("newest retained version = %d, want %d", got, want)
+	}
+}
+
+// TestConcurrentReadersAndWriters drives interleaved mutations and locked
+// reads; run with -race to prove the locking is sound.
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	s, a, b := newTestStore(t)
+	const iters = 200
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				s.AddEdge(a, "y", b)
+				s.RemoveEdge(a, "y", b)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				s.Read(func(g *graph.Graph, _ uint64) error {
+					g.Degree(a)
+					g.Edges()
+					return nil
+				})
+				s.Stats()
+				s.Log(0)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Version(); got != 8*iters {
+		t.Errorf("version = %d, want %d", got, 8*iters)
+	}
+}

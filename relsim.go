@@ -27,7 +27,6 @@ package relsim
 
 import (
 	"fmt"
-	"strings"
 
 	"relsim/internal/eval"
 	"relsim/internal/graph"
@@ -35,7 +34,9 @@ import (
 	"relsim/internal/pattern"
 	"relsim/internal/rre"
 	"relsim/internal/schema"
+	"relsim/internal/server"
 	"relsim/internal/sim"
+	"relsim/internal/store"
 )
 
 // Re-exported core types. The facade aliases the internal packages so a
@@ -67,10 +68,39 @@ type (
 	ConclusionAtom = mapping.ConclusionAtom
 	// Ranking is a ranked similarity answer list.
 	Ranking = sim.Ranking
+	// Store is a versioned, mutable graph store for live serving.
+	Store = store.Store
+	// StoreUpdate is one record of a store's update log.
+	StoreUpdate = store.Update
+	// Server is the HTTP/JSON query service over a Store.
+	Server = server.Server
+	// ServerOption configures NewServer.
+	ServerOption = server.Option
+	// CacheStats is a snapshot of an engine's commuting-matrix cache.
+	CacheStats = eval.CacheStats
 )
 
 // NewGraph returns an empty graph database.
 func NewGraph() *Graph { return graph.New() }
+
+// NewStore wraps g in a versioned, mutable store: mutations run under a
+// write lock, bump the store version and feed an update log; reads run
+// under a shared lock. Use it with NewServer for live serving.
+func NewStore(g *Graph) *Store { return store.New(g) }
+
+// NewServer builds the HTTP/JSON query service over st. The schema may
+// be nil (no Algorithm-1 expansion constraints). Mount the result on any
+// http.Server; see cmd/relsim-serve for a ready-made binary.
+func NewServer(st *Store, s *Schema, opts ...ServerOption) *Server {
+	return server.New(st, s, opts...)
+}
+
+// WithServerWorkers sets the default /batch worker-pool size.
+func WithServerWorkers(n int) ServerOption { return server.WithWorkers(n) }
+
+// WithServerCacheLimit bounds the server's commuting-matrix cache to n
+// matrices with LRU eviction.
+func WithServerCacheLimit(n int) ServerOption { return server.WithCacheLimit(n) }
 
 // NewSchema builds a schema from labels and constraints.
 func NewSchema(labels []string, constraints ...Constraint) *Schema {
@@ -144,6 +174,25 @@ func (e *Engine) CheckConstraints(max int) []string {
 func (e *Engine) Materialize(patterns ...*Pattern) {
 	e.ev.Materialize(patterns...)
 }
+
+// InvalidateLabels evicts cached commuting matrices of every pattern
+// mentioning at least one of the given labels, and returns the number
+// evicted. Call it after mutating edges of those labels on the engine's
+// graph; matrices of untouched patterns stay hot.
+func (e *Engine) InvalidateLabels(labels ...string) int {
+	return e.ev.InvalidateLabels(labels...)
+}
+
+// InvalidateAll drops the whole commuting-matrix cache. Required after
+// adding or removing nodes (every matrix dimension changes).
+func (e *Engine) InvalidateAll() int { return e.ev.InvalidateAll() }
+
+// CacheStats returns the commuting-matrix cache counters.
+func (e *Engine) CacheStats() CacheStats { return e.ev.Stats() }
+
+// SetCacheLimit bounds the commuting-matrix cache to n matrices with LRU
+// eviction; n <= 0 removes the bound.
+func (e *Engine) SetCacheLimit(n int) { e.ev.SetCacheLimit(n) }
 
 // searchConfig collects Search options.
 type searchConfig struct {
@@ -252,17 +301,7 @@ func (e *Engine) Explain(p *Pattern, u, v NodeID, limit int) []string {
 	ins := e.ev.Instances(p, u, v, limit)
 	out := make([]string, len(ins))
 	for i, in := range ins {
-		parts := make([]string, len(in.Seq))
-		for j, s := range in.Seq {
-			parts[j] = s
-			var id int
-			if _, err := fmt.Sscanf(s, "%d", &id); err == nil && e.g.Has(NodeID(id)) {
-				if name := e.g.Node(NodeID(id)).Name; name != "" {
-					parts[j] = name
-				}
-			}
-		}
-		out[i] = strings.Join(parts, " → ")
+		out[i] = in.Render(e.g)
 	}
 	return out
 }
