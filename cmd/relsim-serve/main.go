@@ -1,20 +1,27 @@
 // Command relsim-serve runs the RelSim query service: it loads a
 // built-in dataset or a graph file and serves similarity queries,
-// instance-level explanations and live graph mutations over HTTP/JSON.
+// instance-level explanations and live graph mutations over HTTP/JSON,
+// with MVCC snapshot isolation — every request evaluates one pinned
+// immutable graph version, so long queries never block writers and vice
+// versa.
 //
 // Usage:
 //
-//	relsim-serve -dataset dblp-small [-addr :8080]
+//	relsim-serve -dataset dblp-small [-addr :8080] [-timeout 30s]
 //	relsim-serve -in g.jsonl -schema dblp [-workers 8] [-cache-limit 512]
 //
 // Endpoints: POST /search, POST /batch, POST /explain,
 // POST /graph/edges, GET /healthz, GET /stats. See internal/server for
 // the request and response shapes, and the top-level README for curl
 // examples.
+//
+// On SIGINT/SIGTERM the server drains in-flight requests for -drain and
+// flushes a final /stats snapshot to the log before exiting.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -29,6 +36,7 @@ import (
 	"relsim/internal/graph"
 	"relsim/internal/schema"
 	"relsim/internal/server"
+	"relsim/internal/sparse"
 	"relsim/internal/store"
 )
 
@@ -46,7 +54,12 @@ func run(args []string) error {
 	in := fs.String("in", "", "graph file to serve (JSON lines, see internal/graph/io.go)")
 	schemaName := fs.String("schema", "", "built-in schema for Algorithm-1 expansion (dblp|wsu|biomed); defaults to the dataset's own schema")
 	workers := fs.Int("workers", server.DefaultWorkers, "default /batch worker-pool size")
-	cacheLimit := fs.Int("cache-limit", 0, "max cached commuting matrices, 0 = unbounded")
+	cacheLimit := fs.Int("cache-limit", 0, "max cached commuting matrices across versions, 0 = unbounded")
+	timeout := fs.Duration("timeout", 30*time.Second, "default /search and /batch evaluation deadline (0 = none; per-request override via ?timeout_ms=)")
+	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline for in-flight requests")
+	defGate := sparse.DefaultThresholds()
+	minDim := fs.Int("parallel-min-dim", defGate.MinDim, "min matrix dimension for the parallel SpGEMM kernel")
+	minNNZ := fs.Int("parallel-min-nnz", defGate.MinNNZ, "min combined nnz for the parallel SpGEMM kernel")
 	fs.Parse(args)
 
 	g, sc, err := load(*dataset, *in, *schemaName)
@@ -57,10 +70,13 @@ func run(args []string) error {
 	srv := server.New(st, sc,
 		server.WithWorkers(*workers),
 		server.WithCacheLimit(*cacheLimit),
+		server.WithTimeout(*timeout),
+		server.WithParallelThresholds(sparse.Thresholds{MinDim: *minDim, MinNNZ: *minNNZ}),
 	)
 
 	stats := st.Stats()
-	log.Printf("serving %d nodes, %d edges, labels %v on %s", stats.Nodes, stats.Edges, stats.Labels, *addr)
+	log.Printf("serving %d nodes, %d edges, labels %v on %s (MVCC snapshot isolation, timeout %v)",
+		stats.Nodes, stats.Edges, stats.Labels, *addr, *timeout)
 
 	hs := &http.Server{Addr: *addr, Handler: srv}
 	errc := make(chan error, 1)
@@ -72,17 +88,32 @@ func run(args []string) error {
 	case err := <-errc:
 		return err
 	case sig := <-sigc:
-		log.Printf("received %v, shutting down", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		log.Printf("received %v, draining for up to %v", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
-		if err := hs.Shutdown(ctx); err != nil {
-			return err
+		shutdownErr := hs.Shutdown(ctx)
+		if shutdownErr != nil {
+			// Drain deadline exceeded: force-close lingering connections.
+			log.Printf("drain incomplete (%v), closing", shutdownErr)
+			hs.Close()
 		}
+		flushStats(srv)
 		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 			return err
 		}
-		return nil
+		return shutdownErr
 	}
+}
+
+// flushStats logs the final /stats snapshot so post-mortems see the
+// closing version, pin spread and cache counters.
+func flushStats(srv *server.Server) {
+	buf, err := json.Marshal(srv.Stats())
+	if err != nil {
+		log.Printf("final stats: marshal: %v", err)
+		return
+	}
+	log.Printf("final stats: %s", buf)
 }
 
 // load builds the graph and schema from the flags: either a built-in

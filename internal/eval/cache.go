@@ -1,19 +1,51 @@
 package eval
 
-import "relsim/internal/sparse"
+import (
+	"sync"
+
+	"relsim/internal/sparse"
+)
+
+// Key identifies one cached commuting matrix: the graph version it was
+// computed against and the canonical pattern string. Versioning is what
+// makes the cache MVCC-safe: evaluators bound to different snapshots
+// never alias each other's entries, so no invalidation is required for
+// correctness — an entry for (v, p) is valid forever, because version v
+// is immutable. Entries of dead versions age out via the LRU bound and
+// the proactive hints below.
+type Key struct {
+	Version uint64
+	Pattern string
+}
 
 // cacheEntry is one materialized commuting matrix together with the
-// label set of its pattern (for selective invalidation) and its last-use
-// tick (for LRU eviction).
+// label set of its pattern (for the label-hint eviction) and its
+// last-use tick (for LRU eviction).
 type cacheEntry struct {
 	m      *sparse.Matrix
 	labels []string
 	used   uint64
 }
 
+// Cache is a versioned commuting-matrix cache shared by all evaluators
+// of one serving engine. It is safe for concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[Key]*cacheEntry
+	limit   int    // max cached matrices; 0 = unbounded
+	tick    uint64 // logical clock for LRU recency
+	gen     uint64 // bumped by invalidation; see Evaluator.Commuting
+
+	hits, misses, evictions, invalidations uint64
+}
+
+// NewCache returns an empty, unbounded cache.
+func NewCache() *Cache { return &Cache{entries: make(map[Key]*cacheEntry)} }
+
 // CacheStats is a point-in-time snapshot of the commuting-matrix cache.
 type CacheStats struct {
 	Size          int    `json:"size"`
+	Versions      int    `json:"versions"`
 	Limit         int    `json:"limit"`
 	Hits          uint64 `json:"hits"`
 	Misses        uint64 `json:"misses"`
@@ -23,35 +55,91 @@ type CacheStats struct {
 
 // Stats returns the cache counters. Hits and misses count every
 // Commuting call, including the recursive sub-pattern calls.
-func (e *Evaluator) Stats() CacheStats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	vs := make(map[uint64]bool)
+	for k := range c.entries {
+		vs[k.Version] = true
+	}
 	return CacheStats{
-		Size:          len(e.cache),
-		Limit:         e.limit,
-		Hits:          e.hits,
-		Misses:        e.misses,
-		Evictions:     e.evictions,
-		Invalidations: e.invalidations,
+		Size:          len(c.entries),
+		Versions:      len(vs),
+		Limit:         c.limit,
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
 	}
 }
 
-// SetCacheLimit bounds the cache to at most n matrices, evicting the
-// least recently used entries when the bound is exceeded. n <= 0 removes
-// the bound (the default).
-func (e *Evaluator) SetCacheLimit(n int) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.limit = n
-	e.evictLocked()
+// Size returns the number of materialized commuting matrices.
+func (c *Cache) Size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
 }
 
-// InvalidateLabels evicts every cached matrix whose pattern mentions at
-// least one of the given labels, and returns the number evicted. This is
-// the incremental-invalidation hook for graph mutations: after adding or
-// removing an edge with label a, only patterns whose label set contains
-// a can have stale matrices; everything else survives.
-func (e *Evaluator) InvalidateLabels(labels ...string) int {
+// VersionOccupancy returns the number of cached matrices per graph
+// version — the /stats view of how much of the cache still serves old
+// pinned readers.
+func (c *Cache) VersionOccupancy() map[uint64]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	occ := make(map[uint64]int)
+	for k := range c.entries {
+		occ[k.Version]++
+	}
+	return occ
+}
+
+// SetLimit bounds the cache to at most n matrices, evicting the least
+// recently used entries when the bound is exceeded. n <= 0 removes the
+// bound (the default).
+func (c *Cache) SetLimit(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.limit = n
+	c.evictLocked()
+}
+
+// lookup returns the cached matrix for key, recording a hit or miss,
+// plus the generation observed (for insert's stale-compute check).
+func (c *Cache) lookup(key Key) (*sparse.Matrix, uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ent, ok := c.entries[key]; ok {
+		c.hits++
+		c.tick++
+		ent.used = c.tick
+		return ent.m, c.gen, true
+	}
+	c.misses++
+	return nil, c.gen, false
+}
+
+// insert stores a computed matrix unless an invalidation ran since gen
+// was observed: the computation may then reflect a graph state that is
+// already stale (only possible when the owner mutates a graph in place,
+// as Engine does; immutable snapshots are never stale for their key).
+func (c *Cache) insert(key Key, m *sparse.Matrix, labels []string, gen uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gen != gen {
+		return
+	}
+	c.tick++
+	c.entries[key] = &cacheEntry{m: m, labels: labels, used: c.tick}
+	c.evictLocked()
+}
+
+// InvalidateLabels evicts every cached matrix with version <= through
+// whose pattern mentions at least one of the given labels, and returns
+// the number evicted. Under MVCC this is a proactive memory hint (those
+// versions' snapshots are immutable, so their entries were still
+// correct); for an Engine mutating its graph in place it is the
+// correctness hook it always was, with through = the engine's version.
+func (c *Cache) InvalidateLabels(through uint64, labels ...string) int {
 	if len(labels) == 0 {
 		return 0
 	}
@@ -59,62 +147,123 @@ func (e *Evaluator) InvalidateLabels(labels ...string) int {
 	for _, l := range labels {
 		touched[l] = true
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	n := 0
-	for key, ent := range e.cache {
+	for key, ent := range c.entries {
+		if key.Version > through {
+			continue
+		}
 		for _, l := range ent.labels {
 			if touched[l] {
-				delete(e.cache, key)
+				delete(c.entries, key)
 				n++
 				break
 			}
 		}
 	}
-	e.invalidations += uint64(n)
-	e.gen++
+	c.invalidations += uint64(n)
+	c.gen++
 	return n
 }
 
-// InvalidateAll drops the whole cache. Required after any change to the
-// node count: commuting matrices are n×n, so every cached matrix (even
-// of patterns whose labels were untouched, and the ε identity) has the
-// wrong dimension afterwards.
-func (e *Evaluator) InvalidateAll() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	n := len(e.cache)
-	e.cache = make(map[string]*cacheEntry)
-	e.invalidations += uint64(n)
-	e.gen++
+// InvalidateAll drops the whole cache.
+func (c *Cache) InvalidateAll() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.entries)
+	c.entries = make(map[Key]*cacheEntry)
+	c.invalidations += uint64(n)
+	c.gen++
 	return n
 }
 
-// insertLocked stores an entry and enforces the LRU bound. e.mu held.
-func (e *Evaluator) insertLocked(key string, ent *cacheEntry) {
-	e.tick++
-	ent.used = e.tick
-	e.cache[key] = ent
-	e.evictLocked()
+// Advance ages the cache across a committed write from version `from`
+// to version `to`. Entries keyed at `from` whose pattern mentions no
+// touched label are carried to `to`, keeping untouched patterns hot at
+// the new version; touched entries (or every entry at `from` when
+// nodesChanged, since the matrix dimension moves) do not carry. When
+// keepFrom is false the `from` keys are removed in the same pass (the
+// touched ones counting as invalidations); when keepFrom is true —
+// readers are still pinned at `from` — every `from` entry stays in
+// place so those readers keep their hits, carried patterns are *copied*
+// to `to`, and EvictBelow reaps the leftovers once the pins release.
+// Entries at older versions are untouched either way. Returns
+// (carried, evicted).
+func (c *Cache) Advance(from, to uint64, touchedLabels []string, nodesChanged, keepFrom bool) (int, int) {
+	touched := make(map[string]bool, len(touchedLabels))
+	for _, l := range touchedLabels {
+		touched[l] = true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	carried, evicted := 0, 0
+	for key, ent := range c.entries {
+		if key.Version != from {
+			continue
+		}
+		stale := nodesChanged
+		for _, l := range ent.labels {
+			if stale {
+				break
+			}
+			stale = touched[l]
+		}
+		if !keepFrom {
+			delete(c.entries, key)
+		}
+		if stale {
+			if !keepFrom {
+				evicted++
+			}
+			continue
+		}
+		nk := Key{Version: to, Pattern: key.Pattern}
+		// A reader at the new version may have raced ahead and computed
+		// this entry already; either copy is correct, keep the existing.
+		if _, dup := c.entries[nk]; !dup {
+			c.entries[nk] = &cacheEntry{m: ent.m, labels: ent.labels, used: ent.used}
+			carried++
+		}
+	}
+	c.invalidations += uint64(evicted)
+	return carried, evicted
 }
 
-// evictLocked removes least-recently-used entries until the cache is
-// within the limit. e.mu held. The linear minimum scan is fine at the
-// cache sizes a bounded service runs with (hundreds of patterns).
-func (e *Evaluator) evictLocked() {
-	if e.limit <= 0 {
+// EvictBelow drops every entry with version < floor and returns the
+// count. The serving layer calls it with the oldest pinned version:
+// entries below the floor can never be read again.
+func (c *Cache) EvictBelow(floor uint64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for key := range c.entries {
+		if key.Version < floor {
+			delete(c.entries, key)
+			n++
+		}
+	}
+	c.evictions += uint64(n)
+	return n
+}
+
+// insertLocked-style LRU enforcement. c.mu held. The linear minimum
+// scan is fine at the cache sizes a bounded service runs with (hundreds
+// of patterns).
+func (c *Cache) evictLocked() {
+	if c.limit <= 0 {
 		return
 	}
-	for len(e.cache) > e.limit {
-		var victim string
+	for len(c.entries) > c.limit {
+		var victim Key
 		var oldest uint64
 		first := true
-		for key, ent := range e.cache {
+		for key, ent := range c.entries {
 			if first || ent.used < oldest {
 				victim, oldest, first = key, ent.used, false
 			}
 		}
-		delete(e.cache, victim)
-		e.evictions++
+		delete(c.entries, victim)
+		c.evictions++
 	}
 }

@@ -1,0 +1,37 @@
+package eval
+
+// Cancellation. Commuting-matrix evaluation is a recursion over the
+// pattern AST whose leaves are large sparse products; threading an
+// error return through every matrix rule (and through the sim package
+// built on top) would contaminate dozens of signatures for a condition
+// that occurs only on deadline. Instead a context-bound evaluator
+// (WithContext) panics with *Canceled at the next product boundary, and
+// Guard at the API surface converts the panic back into an ordinary
+// error — the same containment strategy encoding/json uses internally.
+
+// Canceled reports an evaluation aborted by its context. Err is the
+// context's error (context.Canceled or context.DeadlineExceeded).
+type Canceled struct {
+	Err error
+}
+
+// Error implements error.
+func (c *Canceled) Error() string { return "eval: evaluation canceled: " + c.Err.Error() }
+
+// Unwrap exposes the context error to errors.Is.
+func (c *Canceled) Unwrap() error { return c.Err }
+
+// Guard runs fn, converting a *Canceled panic from a context-bound
+// evaluator into a returned error. Any other panic propagates.
+func Guard(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if c, ok := r.(*Canceled); ok {
+				err = c
+				return
+			}
+			panic(r)
+		}
+	}()
+	return fn()
+}

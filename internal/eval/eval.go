@@ -23,6 +23,7 @@
 package eval
 
 import (
+	"context"
 	"sync"
 
 	"relsim/internal/graph"
@@ -30,42 +31,141 @@ import (
 	"relsim/internal/sparse"
 )
 
-// Evaluator evaluates RRE patterns over a graph, caching commuting
-// matrices by the canonical string form of the pattern. It is safe for
-// concurrent use.
+// Evaluator evaluates RRE patterns over one graph view, caching
+// commuting matrices in a versioned Cache keyed by (version, canonical
+// pattern string). It is safe for concurrent use.
 //
-// The graph must not be mutated during an evaluation. Between
-// evaluations the graph may change, provided the owner reports every
-// change: call InvalidateLabels with the touched edge labels (cached
-// matrices of patterns mentioning those labels go stale) and
-// InvalidateAll after node-count changes (every matrix dimension goes
-// stale). internal/store wires this up automatically.
+// There are two binding modes:
+//
+//   - New(g) binds a mutable graph at version 0 with a private cache —
+//     the library/Engine mode. The graph must not be mutated during an
+//     evaluation; between evaluations the owner reports every change
+//     via InvalidateLabels / InvalidateAll, exactly as before.
+//   - NewVersioned(view, version, cache) binds an immutable snapshot —
+//     the MVCC serving mode. Entries the evaluator writes are keyed by
+//     its version, so evaluators over different snapshots share one
+//     cache without aliasing, and a write never invalidates a
+//     still-pinned version's entries.
 type Evaluator struct {
-	g *graph.Graph
+	g       graph.View
+	version uint64
+	cache   *Cache
+	ctx     context.Context // nil = never canceled
 
 	mu         sync.Mutex
-	cache      map[string]*cacheEntry
-	limit      int    // max cached matrices; 0 = unbounded
-	tick       uint64 // logical clock for LRU recency
-	gen        uint64 // bumped by invalidation; see Commuting
 	noPlanning bool
-
-	hits, misses, evictions, invalidations uint64
+	gate       sparse.Thresholds
 }
 
-// New returns an evaluator over g.
-func New(g *graph.Graph) *Evaluator {
-	return &Evaluator{g: g, cache: make(map[string]*cacheEntry)}
+// New returns an evaluator over g at version 0 with a private cache.
+func New(g graph.View) *Evaluator { return NewVersioned(g, 0, NewCache()) }
+
+// NewVersioned returns an evaluator bound to one graph version, writing
+// and reading cache entries keyed by that version. The view must be
+// immutable for the evaluator's lifetime (a graph.Snapshot, or a graph
+// the owner promises not to mutate while this version is live).
+func NewVersioned(g graph.View, version uint64, cache *Cache) *Evaluator {
+	if cache == nil {
+		cache = NewCache()
+	}
+	return &Evaluator{g: g, version: version, cache: cache, gate: sparse.DefaultThresholds()}
 }
 
-// Graph returns the underlying graph.
-func (e *Evaluator) Graph() *graph.Graph { return e.g }
-
-// CacheSize returns the number of materialized commuting matrices.
-func (e *Evaluator) CacheSize() int {
+// WithContext returns a copy of the evaluator whose evaluations honor
+// ctx: cancellation is checked between matrix products, and a canceled
+// evaluation aborts with a *Canceled panic that Guard converts to an
+// error. The copy shares the cache and graph with the original.
+func (e *Evaluator) WithContext(ctx context.Context) *Evaluator {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return len(e.cache)
+	return &Evaluator{
+		g:          e.g,
+		version:    e.version,
+		cache:      e.cache,
+		ctx:        ctx,
+		noPlanning: e.noPlanning,
+		gate:       e.gate,
+	}
+}
+
+// Graph returns the underlying graph view.
+func (e *Evaluator) Graph() graph.View { return e.g }
+
+// Version returns the graph version the evaluator is bound to.
+func (e *Evaluator) Version() uint64 { return e.version }
+
+// Cache returns the evaluator's (possibly shared) commuting-matrix
+// cache.
+func (e *Evaluator) Cache() *Cache { return e.cache }
+
+// SetParallelThresholds overrides the gate deciding when concatenation
+// products use the parallel SpGEMM kernel. The default is
+// sparse.DefaultThresholds; a server tuned for experiment-scale graphs
+// lowers it so /batch materialization parallelizes.
+func (e *Evaluator) SetParallelThresholds(t sparse.Thresholds) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.gate = t
+}
+
+// CacheSize returns the number of materialized commuting matrices.
+func (e *Evaluator) CacheSize() int { return e.cache.Size() }
+
+// Stats returns the cache counters.
+func (e *Evaluator) Stats() CacheStats { return e.cache.Stats() }
+
+// SetCacheLimit bounds the cache to at most n matrices (LRU eviction);
+// n <= 0 removes the bound.
+func (e *Evaluator) SetCacheLimit(n int) { e.cache.SetLimit(n) }
+
+// InvalidateLabels evicts cached matrices (up to and including this
+// evaluator's version) whose pattern mentions at least one of the given
+// labels, returning the number evicted. This is the mutation hook for
+// the in-place-mutable binding mode; see Cache.InvalidateLabels.
+func (e *Evaluator) InvalidateLabels(labels ...string) int {
+	return e.cache.InvalidateLabels(e.version, labels...)
+}
+
+// InvalidateAll drops the whole cache. Required after node-count
+// changes to an in-place mutated graph (every matrix dimension goes
+// stale).
+func (e *Evaluator) InvalidateAll() int { return e.cache.InvalidateAll() }
+
+// checkCanceled panics with *Canceled when the evaluator's context is
+// done. It is called between matrix products so a timed-out query stops
+// burning CPU mid-evaluation; Guard at the API boundary converts the
+// panic into an error.
+func (e *Evaluator) checkCanceled() {
+	if e.ctx == nil {
+		return
+	}
+	if err := e.ctx.Err(); err != nil {
+		panic(&Canceled{Err: err})
+	}
+}
+
+// mul multiplies two matrices under the evaluator's parallel gate,
+// checking cancellation first.
+func (e *Evaluator) mul(a, b *sparse.Matrix) *sparse.Matrix {
+	e.checkCanceled()
+	e.mu.Lock()
+	gate := e.gate
+	e.mu.Unlock()
+	return a.MulThresh(b, gate)
+}
+
+// booleanClosure is sparse.BooleanClosure routed through the
+// evaluator's mul, so the repeated-squaring products of a Kleene star
+// honor cancellation and the parallel gate like every other product.
+func (e *Evaluator) booleanClosure(m *sparse.Matrix) *sparse.Matrix {
+	cur := sparse.Identity(m.Dim()).Add(m.Boolean()).Boolean()
+	for {
+		next := e.mul(cur, cur).Boolean()
+		if next.Equal(cur) {
+			return cur
+		}
+		cur = next
+	}
 }
 
 // Materialize precomputes and caches the commuting matrices of the given
@@ -78,35 +178,26 @@ func (e *Evaluator) Materialize(ps ...*rre.Pattern) {
 }
 
 // Commuting returns the commuting matrix M_p. Results are cached per
-// canonical pattern string, including all sub-pattern matrices.
+// (version, canonical pattern string), including all sub-pattern
+// matrices.
 func (e *Evaluator) Commuting(p *rre.Pattern) *sparse.Matrix {
-	key := p.String()
-	e.mu.Lock()
-	if ent, ok := e.cache[key]; ok {
-		e.hits++
-		e.tick++
-		ent.used = e.tick
-		e.mu.Unlock()
-		return ent.m
+	key := Key{Version: e.version, Pattern: p.String()}
+	m, gen, ok := e.cache.lookup(key)
+	if ok {
+		return m
 	}
-	e.misses++
-	gen := e.gen
-	e.mu.Unlock()
-
-	m := e.compute(p)
-
-	e.mu.Lock()
-	// If an invalidation ran while we computed, the matrix may reflect a
-	// graph state that is already stale: return it to this caller (the
-	// read raced the write regardless) but do not poison the cache.
-	if e.gen == gen {
-		e.insertLocked(key, &cacheEntry{m: m, labels: p.Labels()})
-	}
-	e.mu.Unlock()
+	// Recompute outside any lock. If an invalidation runs while we
+	// compute, the matrix may reflect a graph state that is already
+	// stale: return it to this caller (the read raced the write
+	// regardless) but do not poison the cache — insert drops it when the
+	// generation moved past gen.
+	m = e.compute(p)
+	e.cache.insert(key, m, p.Labels(), gen)
 	return m
 }
 
 func (e *Evaluator) compute(p *rre.Pattern) *sparse.Matrix {
+	e.checkCanceled()
 	n := e.g.NumNodes()
 	switch p.Kind() {
 	case rre.KindEps:
@@ -126,11 +217,11 @@ func (e *Evaluator) compute(p *rre.Pattern) *sparse.Matrix {
 		if !planned {
 			m := factors[0]
 			for _, f := range factors[1:] {
-				m = m.Mul(f)
+				m = e.mul(m, f)
 			}
 			return m
 		}
-		return mulChain(factors)
+		return e.mulChain(factors)
 	case rre.KindAlt:
 		m := e.Commuting(p.Subs()[0])
 		for _, s := range p.Subs()[1:] {
@@ -138,7 +229,7 @@ func (e *Evaluator) compute(p *rre.Pattern) *sparse.Matrix {
 		}
 		return m
 	case rre.KindStar:
-		return e.Commuting(p.Subs()[0]).BooleanClosure()
+		return e.booleanClosure(e.Commuting(p.Subs()[0]))
 	case rre.KindSkip:
 		return e.Commuting(p.Subs()[0]).Boolean()
 	case rre.KindNest:

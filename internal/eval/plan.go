@@ -41,7 +41,9 @@ func mulCostEstimate(a, b *sparse.Matrix) int64 {
 }
 
 // mulChain multiplies the factor list with greedy cost-based pairing.
-func mulChain(factors []*sparse.Matrix) *sparse.Matrix {
+// Each product goes through Evaluator.mul, which applies the parallel
+// kernel gate and checks cancellation between products.
+func (e *Evaluator) mulChain(factors []*sparse.Matrix) *sparse.Matrix {
 	switch len(factors) {
 	case 0:
 		panic("eval: empty multiplication chain")
@@ -58,7 +60,7 @@ func mulChain(factors []*sparse.Matrix) *sparse.Matrix {
 				best, bestCost = i, c
 			}
 		}
-		prod := ms[best].Mul(ms[best+1])
+		prod := e.mul(ms[best], ms[best+1])
 		ms[best] = prod
 		ms = append(ms[:best+1], ms[best+2:]...)
 	}

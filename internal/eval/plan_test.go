@@ -60,7 +60,7 @@ func TestMulCostEstimateExactForFirstProduct(t *testing.T) {
 
 func TestMulChainSingleFactor(t *testing.T) {
 	m := sparse.Identity(3)
-	if got := mulChain([]*sparse.Matrix{m}); got != m {
+	if got := New(graph.New()).mulChain([]*sparse.Matrix{m}); got != m {
 		t.Error("single-factor chain must return the factor")
 	}
 }
@@ -71,7 +71,7 @@ func TestMulChainPanicsOnEmpty(t *testing.T) {
 			t.Fatal("empty chain must panic")
 		}
 	}()
-	mulChain(nil)
+	New(graph.New()).mulChain(nil)
 }
 
 // TestChainPlanningSkewedPattern sanity-checks that the planner picks

@@ -1,0 +1,316 @@
+package graph
+
+import "fmt"
+
+// Builder accumulates mutations against a base snapshot and derives the
+// next version copy-on-write. It is the write half of MVCC: the base
+// snapshot is never modified, and Build produces a new snapshot that
+// shares every untouched label's adjacency (and, for edge-only writes,
+// the node table) with the base by pointer.
+//
+// A Builder is single-writer state; it must not be used concurrently.
+// Reads through the Builder (Has, NodeByName, EdgeCount) see the
+// pending mutations — read-your-writes within a transaction.
+type Builder struct {
+	base *Snapshot
+
+	// nodes/byName stay nil until the first AddNode; Build then reuses
+	// the base's table unchanged.
+	nodes  []Node
+	byName map[string]NodeID
+
+	// adds[label][u] holds appended out-neighbors; dels[label][u][v]
+	// counts removed (u,label,v) occurrences. Only labels present in
+	// these maps are rebuilt by Build.
+	adds map[string]map[NodeID][]NodeID
+	dels map[string]map[NodeID]map[NodeID]int
+
+	addCnt, delCnt int
+}
+
+// NewBuilder starts a builder over base. A nil base builds from the
+// empty graph.
+func NewBuilder(base *Snapshot) *Builder {
+	if base == nil {
+		base = New().Snapshot()
+	}
+	return &Builder{base: base}
+}
+
+// Base returns the snapshot the builder derives from.
+func (b *Builder) Base() *Snapshot { return b.base }
+
+// Changed reports whether any mutation is pending.
+func (b *Builder) Changed() bool {
+	return b.nodes != nil || b.addCnt > 0 || b.delCnt > 0
+}
+
+// NumNodes returns the node count including pending additions.
+func (b *Builder) NumNodes() int {
+	if b.nodes != nil {
+		return len(b.nodes)
+	}
+	return b.base.NumNodes()
+}
+
+// NumEdges returns the edge count including pending mutations.
+func (b *Builder) NumEdges() int { return b.base.NumEdges() + b.addCnt - b.delCnt }
+
+// Has reports whether id is a node, including pending additions.
+func (b *Builder) Has(id NodeID) bool { return id >= 0 && int(id) < b.NumNodes() }
+
+// NodeByName resolves a display name, seeing pending additions.
+func (b *Builder) NodeByName(name string) (Node, bool) {
+	if b.byName != nil {
+		id, ok := b.byName[name]
+		if !ok {
+			return Node{}, false
+		}
+		return b.nodes[id], true
+	}
+	return b.base.NodeByName(name)
+}
+
+// AddNode appends a node and returns its id. The first node addition
+// copies the base node table (copy-on-write); edge-only transactions
+// never touch it.
+func (b *Builder) AddNode(name, typ string) NodeID {
+	if b.nodes == nil {
+		b.nodes = append([]Node(nil), b.base.nodes...)
+		b.byName = make(map[string]NodeID, len(b.base.byName)+1)
+		for n, id := range b.base.byName {
+			b.byName[n] = id
+		}
+	}
+	id := NodeID(len(b.nodes))
+	b.nodes = append(b.nodes, Node{ID: id, Name: name, Type: typ})
+	if name != "" {
+		if _, dup := b.byName[name]; !dup {
+			b.byName[name] = id
+		}
+	}
+	return id
+}
+
+// EdgeCount returns the number of (u, label, v) edges including pending
+// mutations.
+func (b *Builder) EdgeCount(u NodeID, label string, v NodeID) int {
+	n := b.base.EdgeCount(u, label, v)
+	if la := b.adds[label]; la != nil {
+		for _, w := range la[u] {
+			if w == v {
+				n++
+			}
+		}
+	}
+	if ld := b.dels[label]; ld != nil {
+		n -= ld[u][v]
+	}
+	return n
+}
+
+// AddEdge records the edge (u, label, v).
+func (b *Builder) AddEdge(u NodeID, label string, v NodeID) error {
+	if !b.Has(u) || !b.Has(v) {
+		return fmt.Errorf("graph: add edge (%d,%q,%d): endpoint does not exist (n=%d)", u, label, v, b.NumNodes())
+	}
+	if label == "" {
+		return fmt.Errorf("graph: add edge (%d,,%d): empty label", u, v)
+	}
+	if b.adds == nil {
+		b.adds = make(map[string]map[NodeID][]NodeID)
+	}
+	la := b.adds[label]
+	if la == nil {
+		la = make(map[NodeID][]NodeID)
+		b.adds[label] = la
+	}
+	la[u] = append(la[u], v)
+	b.addCnt++
+	return nil
+}
+
+// RemoveEdge removes one (u, label, v) occurrence and reports whether
+// an edge was removed. An edge added earlier in the same builder is
+// cancelled in place; otherwise a removal of a base edge is recorded.
+func (b *Builder) RemoveEdge(u NodeID, label string, v NodeID) bool {
+	if la := b.adds[label]; la != nil {
+		vs := la[u]
+		for i := len(vs) - 1; i >= 0; i-- {
+			if vs[i] == v {
+				la[u] = append(vs[:i:i], vs[i+1:]...)
+				b.addCnt--
+				return true
+			}
+		}
+	}
+	removed := 0
+	if ld := b.dels[label]; ld != nil {
+		removed = ld[u][v]
+	}
+	if b.base.EdgeCount(u, label, v)-removed <= 0 {
+		return false
+	}
+	if b.dels == nil {
+		b.dels = make(map[string]map[NodeID]map[NodeID]int)
+	}
+	ld := b.dels[label]
+	if ld == nil {
+		ld = make(map[NodeID]map[NodeID]int)
+		b.dels[label] = ld
+	}
+	if ld[u] == nil {
+		ld[u] = make(map[NodeID]int)
+	}
+	ld[u][v]++
+	b.delCnt++
+	return true
+}
+
+// TouchedLabels returns the labels whose adjacency the pending
+// mutations modify, in no particular order.
+func (b *Builder) TouchedLabels() []string {
+	seen := make(map[string]bool, len(b.adds)+len(b.dels))
+	for l, la := range b.adds {
+		for _, vs := range la {
+			if len(vs) > 0 {
+				seen[l] = true
+				break
+			}
+		}
+	}
+	for l, ld := range b.dels {
+		if seen[l] {
+			continue
+		}
+		for _, vd := range ld {
+			for _, n := range vd {
+				if n > 0 {
+					seen[l] = true
+					break
+				}
+			}
+			if seen[l] {
+				break
+			}
+		}
+	}
+	ls := make([]string, 0, len(seen))
+	for l := range seen {
+		ls = append(ls, l)
+	}
+	return ls
+}
+
+// NodesAdded reports whether the builder added nodes (the next
+// snapshot's matrix dimension differs from the base's).
+func (b *Builder) NodesAdded() bool { return b.nodes != nil && len(b.nodes) > len(b.base.nodes) }
+
+// Build derives the next snapshot. The base is unchanged; the result
+// shares the base's CSR arrays for every label the builder did not
+// touch, and the base's node table when no node was added. Build may be
+// called once; reusing the builder afterwards is not supported.
+func (b *Builder) Build() *Snapshot {
+	if !b.Changed() {
+		return b.base
+	}
+	s := &Snapshot{
+		nodes:  b.base.nodes,
+		byName: b.base.byName,
+		out:    b.base.out,
+		in:     b.base.in,
+		edges:  b.base.NumEdges() + b.addCnt - b.delCnt,
+	}
+	if b.nodes != nil {
+		s.nodes = b.nodes
+		s.byName = b.byName
+	}
+	touched := b.TouchedLabels()
+	if len(touched) == 0 {
+		return s
+	}
+	s.out = make(map[string]*adjacency, len(b.base.out)+len(touched))
+	s.in = make(map[string]*adjacency, len(b.base.in)+len(touched))
+	for l, a := range b.base.out {
+		s.out[l] = a
+	}
+	for l, a := range b.base.in {
+		s.in[l] = a
+	}
+	for _, l := range touched {
+		// Reverse the per-label deltas for the in-direction rebuild.
+		var revAdds map[NodeID][]NodeID
+		for u, vs := range b.adds[l] {
+			for _, v := range vs {
+				if revAdds == nil {
+					revAdds = make(map[NodeID][]NodeID)
+				}
+				revAdds[v] = append(revAdds[v], u)
+			}
+		}
+		var revDels map[NodeID]map[NodeID]int
+		for u, vd := range b.dels[l] {
+			for v, n := range vd {
+				if n == 0 {
+					continue
+				}
+				if revDels == nil {
+					revDels = make(map[NodeID]map[NodeID]int)
+				}
+				if revDels[v] == nil {
+					revDels[v] = make(map[NodeID]int)
+				}
+				revDels[v][u] += n
+			}
+		}
+		out := rebuildAdjacency(b.base.out[l], b.adds[l], b.dels[l])
+		if out.nnz() == 0 {
+			delete(s.out, l)
+			delete(s.in, l)
+			continue
+		}
+		s.out[l] = out
+		s.in[l] = rebuildAdjacency(b.base.in[l], revAdds, revDels)
+	}
+	return s
+}
+
+// rebuildAdjacency applies per-row additions and per-occurrence
+// removals to a base CSR, producing a fresh CSR. base may be nil (new
+// label).
+func rebuildAdjacency(base *adjacency, adds map[NodeID][]NodeID, dels map[NodeID]map[NodeID]int) *adjacency {
+	rows := base.rows()
+	for u := range adds {
+		if int(u) >= rows {
+			rows = int(u) + 1
+		}
+	}
+	addTotal := 0
+	for _, vs := range adds {
+		addTotal += len(vs)
+	}
+	a := &adjacency{
+		rowPtr: make([]int32, rows+1),
+		nbr:    make([]NodeID, 0, base.nnz()+addTotal),
+	}
+	for u := 0; u < rows; u++ {
+		remaining := dels[NodeID(u)]
+		var left map[NodeID]int
+		if len(remaining) > 0 {
+			left = make(map[NodeID]int, len(remaining))
+			for v, n := range remaining {
+				left[v] = n
+			}
+		}
+		for _, v := range base.row(NodeID(u)) {
+			if left[v] > 0 {
+				left[v]--
+				continue
+			}
+			a.nbr = append(a.nbr, v)
+		}
+		a.nbr = append(a.nbr, adds[NodeID(u)]...)
+		a.rowPtr[u+1] = int32(len(a.nbr))
+	}
+	return a
+}

@@ -1,0 +1,254 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+
+	"relsim/internal/sparse"
+)
+
+func snapTestGraph() *Graph {
+	g := New()
+	a := g.AddNode("a", "t")
+	b := g.AddNode("b", "t")
+	c := g.AddNode("c", "u")
+	g.AddEdge(a, "x", b)
+	g.AddEdge(a, "x", b) // parallel edge
+	g.AddEdge(b, "x", c)
+	g.AddEdge(a, "y", c)
+	return g
+}
+
+// TestSnapshotMirrorsGraph checks every View method agrees between a
+// graph and its snapshot.
+func TestSnapshotMirrorsGraph(t *testing.T) {
+	g := snapTestGraph()
+	s := g.Snapshot()
+
+	if s.NumNodes() != g.NumNodes() || s.NumEdges() != g.NumEdges() {
+		t.Fatalf("size: snapshot %d/%d, graph %d/%d", s.NumNodes(), s.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	if !reflect.DeepEqual(s.Labels(), g.Labels()) {
+		t.Errorf("labels: %v vs %v", s.Labels(), g.Labels())
+	}
+	for id := NodeID(0); int(id) < g.NumNodes(); id++ {
+		if s.Node(id) != g.Node(id) {
+			t.Errorf("node %d: %+v vs %+v", id, s.Node(id), g.Node(id))
+		}
+		if s.Degree(id) != g.Degree(id) {
+			t.Errorf("degree %d: %d vs %d", id, s.Degree(id), g.Degree(id))
+		}
+		for _, l := range g.Labels() {
+			if !reflect.DeepEqual(append([]NodeID{}, s.Out(id, l)...), append([]NodeID{}, g.Out(id, l)...)) {
+				t.Errorf("out(%d,%s): %v vs %v", id, l, s.Out(id, l), g.Out(id, l))
+			}
+			if !reflect.DeepEqual(append([]NodeID{}, s.In(id, l)...), append([]NodeID{}, g.In(id, l)...)) {
+				t.Errorf("in(%d,%s): %v vs %v", id, l, s.In(id, l), g.In(id, l))
+			}
+		}
+	}
+	if n, ok := s.NodeByName("b"); !ok || n.ID != 1 {
+		t.Errorf("NodeByName(b) = %+v, %v", n, ok)
+	}
+	if got := s.EdgeCount(0, "x", 1); got != 2 {
+		t.Errorf("EdgeCount parallel = %d, want 2", got)
+	}
+	if !reflect.DeepEqual(s.NodesOfType("t"), g.NodesOfType("t")) {
+		t.Errorf("NodesOfType: %v vs %v", s.NodesOfType("t"), g.NodesOfType("t"))
+	}
+	for _, l := range g.Labels() {
+		if !s.Adjacency(l).Equal(g.Adjacency(l)) {
+			t.Errorf("adjacency %q differs", l)
+		}
+	}
+	if !reflect.DeepEqual(s.Edges(), g.Edges()) {
+		t.Errorf("edges: %v vs %v", s.Edges(), g.Edges())
+	}
+}
+
+// TestSnapshotIsImmutable mutates the source graph after snapshotting;
+// the snapshot must be unaffected.
+func TestSnapshotIsImmutable(t *testing.T) {
+	g := snapTestGraph()
+	s := g.Snapshot()
+	nodes, edges := s.NumNodes(), s.NumEdges()
+	g.AddEdge(0, "x", 2)
+	g.AddNode("d", "t")
+	g.RemoveEdge(0, "y", 2)
+	if s.NumNodes() != nodes || s.NumEdges() != edges {
+		t.Errorf("snapshot changed: %d/%d, want %d/%d", s.NumNodes(), s.NumEdges(), nodes, edges)
+	}
+	if got := s.EdgeCount(0, "y", 2); got != 1 {
+		t.Errorf("removed base edge leaked into snapshot: count = %d, want 1", got)
+	}
+}
+
+// TestBuilderCopyOnWrite verifies structural sharing: an edge write
+// copies only the touched label's adjacency; untouched labels and the
+// node table are shared by pointer with the base.
+func TestBuilderCopyOnWrite(t *testing.T) {
+	base := snapTestGraph().Snapshot()
+	b := NewBuilder(base)
+	if err := b.AddEdge(2, "x", 0); err != nil {
+		t.Fatal(err)
+	}
+	next := b.Build()
+
+	if next == base {
+		t.Fatal("Build returned the base despite a mutation")
+	}
+	if &next.nodes[0] != &base.nodes[0] {
+		t.Error("edge-only write copied the node table")
+	}
+	if next.out["y"] != base.out["y"] || next.in["y"] != base.in["y"] {
+		t.Error("untouched label y was copied")
+	}
+	if next.out["x"] == base.out["x"] {
+		t.Error("touched label x still shares adjacency with the base")
+	}
+	if got, want := next.NumEdges(), base.NumEdges()+1; got != want {
+		t.Errorf("edges = %d, want %d", got, want)
+	}
+	if !next.HasEdge(2, "x", 0) {
+		t.Error("new edge missing")
+	}
+	if base.HasEdge(2, "x", 0) {
+		t.Error("base snapshot gained the new edge")
+	}
+}
+
+// TestBuilderNodeTableCOW: adding a node copies the node table but
+// shares all adjacency.
+func TestBuilderNodeTableCOW(t *testing.T) {
+	base := snapTestGraph().Snapshot()
+	b := NewBuilder(base)
+	id := b.AddNode("d", "t")
+	if id != 3 {
+		t.Fatalf("new node id = %d, want 3", id)
+	}
+	next := b.Build()
+	if next.out["x"] != base.out["x"] || next.out["y"] != base.out["y"] {
+		t.Error("node-only write copied adjacency")
+	}
+	if next.NumNodes() != 4 || base.NumNodes() != 3 {
+		t.Errorf("node counts: next %d (want 4), base %d (want 3)", next.NumNodes(), base.NumNodes())
+	}
+	if n, ok := next.NodeByName("d"); !ok || n.ID != 3 {
+		t.Errorf("NodeByName(d) = %+v, %v", n, ok)
+	}
+	if _, ok := base.NodeByName("d"); ok {
+		t.Error("base snapshot sees the new node name")
+	}
+}
+
+// TestBuilderRemoveSemantics mirrors Graph.RemoveEdge: one occurrence
+// at a time, labels vanish with their last edge, absent edges refuse.
+func TestBuilderRemoveSemantics(t *testing.T) {
+	base := snapTestGraph().Snapshot()
+	b := NewBuilder(base)
+	if !b.RemoveEdge(0, "x", 1) {
+		t.Fatal("first parallel occurrence should remove")
+	}
+	if got := b.EdgeCount(0, "x", 1); got != 1 {
+		t.Errorf("EdgeCount after one removal = %d, want 1", got)
+	}
+	if !b.RemoveEdge(0, "x", 1) {
+		t.Fatal("second parallel occurrence should remove")
+	}
+	if b.RemoveEdge(0, "x", 1) {
+		t.Error("third removal should refuse")
+	}
+	next := b.Build()
+	if next.EdgeCount(0, "x", 1) != 0 {
+		t.Error("parallel edges survive in built snapshot")
+	}
+	if !next.HasLabel("x") { // b -x→ c remains
+		t.Error("label x should survive (one edge left)")
+	}
+
+	// Remove the last y edge: the label must disappear.
+	b2 := NewBuilder(next)
+	if !b2.RemoveEdge(0, "y", 2) {
+		t.Fatal("remove y")
+	}
+	final := b2.Build()
+	if final.HasLabel("y") {
+		t.Error("label y should vanish with its last edge")
+	}
+	if got := len(final.Labels()); got != 1 {
+		t.Errorf("labels = %v, want [x]", final.Labels())
+	}
+}
+
+// TestBuilderReadYourWrites: a node added in the builder can anchor an
+// edge in the same transaction, and cancelled adds are invisible.
+func TestBuilderReadYourWrites(t *testing.T) {
+	base := snapTestGraph().Snapshot()
+	b := NewBuilder(base)
+	d := b.AddNode("d", "t")
+	if !b.Has(d) {
+		t.Fatal("builder does not see its own node")
+	}
+	if err := b.AddEdge(d, "z", 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.EdgeCount(d, "z", 0); got != 1 {
+		t.Errorf("pending edge count = %d, want 1", got)
+	}
+	if !b.RemoveEdge(d, "z", 0) {
+		t.Fatal("cancelling a pending add should succeed")
+	}
+	next := b.Build()
+	if next.HasLabel("z") {
+		t.Error("cancelled add leaked into the snapshot")
+	}
+	if next.NumNodes() != 4 {
+		t.Errorf("nodes = %d, want 4", next.NumNodes())
+	}
+}
+
+// TestBuilderRoundTripEqual: applying the same mutations to a mutable
+// graph and through a builder yields the same database.
+func TestBuilderRoundTripEqual(t *testing.T) {
+	g := snapTestGraph()
+	b := NewBuilder(g.Snapshot())
+
+	d := g.AddNode("d", "t")
+	if bd := b.AddNode("d", "t"); bd != d {
+		t.Fatalf("ids diverge: %d vs %d", bd, d)
+	}
+	g.AddEdge(d, "x", 0)
+	if err := b.AddEdge(d, "x", 0); err != nil {
+		t.Fatal(err)
+	}
+	g.RemoveEdge(0, "x", 1)
+	if !b.RemoveEdge(0, "x", 1) {
+		t.Fatal("builder remove")
+	}
+
+	want := g.Snapshot()
+	got := b.Build()
+	if got.NumNodes() != want.NumNodes() || got.NumEdges() != want.NumEdges() {
+		t.Fatalf("size mismatch: %d/%d vs %d/%d", got.NumNodes(), got.NumEdges(), want.NumNodes(), want.NumEdges())
+	}
+	for _, l := range want.Labels() {
+		if !got.Adjacency(l).Equal(want.Adjacency(l)) {
+			t.Errorf("adjacency %q differs after builder round trip", l)
+		}
+		if !got.Adjacency(l).Transpose().Equal(inAdjacency(got, l)) {
+			t.Errorf("in-adjacency %q inconsistent with out-adjacency", l)
+		}
+	}
+}
+
+// inAdjacency builds the matrix implied by the In() lists so tests can
+// check both directions stay in sync through rebuilds.
+func inAdjacency(s *Snapshot, label string) *sparse.Matrix {
+	var triples []sparse.Triple
+	for v := 0; v < s.NumNodes(); v++ {
+		for _, u := range s.In(NodeID(v), label) {
+			triples = append(triples, sparse.Triple{Row: v, Col: int(u), Val: 1})
+		}
+	}
+	return sparse.New(s.NumNodes(), triples)
+}

@@ -1,10 +1,13 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 
 	"relsim/internal/eval"
 	"relsim/internal/graph"
@@ -47,9 +50,12 @@ type SearchResponse struct {
 
 const defaultTop = 10
 
-// runSearch answers one query against g. Callers hold the store's read
-// lock, so the evaluation sees one consistent graph version.
-func (s *Server) runSearch(g *graph.Graph, version uint64, req *SearchRequest) (*SearchResponse, error) {
+// runSearch answers one query against the evaluator's pinned snapshot.
+// The snapshot is immutable, so the evaluation sees one consistent
+// graph version however long it runs and however many writes land
+// meanwhile.
+func (s *Server) runSearch(ev *eval.Evaluator, req *SearchRequest) (*SearchResponse, error) {
+	g := ev.Graph()
 	q, ok := resolveNode(g, req.Query)
 	if !ok {
 		return nil, fmt.Errorf("query node %q not found", req.Query)
@@ -74,9 +80,9 @@ func (s *Server) runSearch(g *graph.Graph, version uint64, req *SearchRequest) (
 	)
 	switch alg {
 	case "rwr":
-		rank = sim.RWR(s.ev, sim.DefaultRWR(), q, candidates)
+		rank = sim.RWR(ev, sim.DefaultRWR(), q, candidates)
 	case "simrank":
-		rank = sim.SimRankMC(s.ev, sim.DefaultSimRank(), q, candidates)
+		rank = sim.SimRankMC(ev, sim.DefaultSimRank(), q, candidates)
 	default:
 		ps, wasExpanded, err := s.queryPatterns(req)
 		if err != nil {
@@ -87,16 +93,16 @@ func (s *Server) runSearch(g *graph.Graph, version uint64, req *SearchRequest) (
 			if wasExpanded {
 				expanded = len(ps)
 			}
-			rank = sim.RelSimAggregate(s.ev, ps, q, candidates)
+			rank = sim.RelSimAggregate(ev, ps, q, candidates)
 		case "relsim":
-			rank = sim.RelSim(s.ev, ps[0], q, candidates)
+			rank = sim.RelSim(ev, ps[0], q, candidates)
 		case "pathsim":
-			rank, err = sim.PathSim(s.ev, ps[0], q, candidates)
+			rank, err = sim.PathSim(ev, ps[0], q, candidates)
 			if err != nil {
 				return nil, err
 			}
 		case "hetesim":
-			rank = sim.HeteSimRRE(s.ev, ps[0], q, candidates)
+			rank = sim.HeteSimRRE(ev, ps[0], q, candidates)
 		default:
 			return nil, fmt.Errorf("unknown alg %q", alg)
 		}
@@ -117,9 +123,20 @@ func (s *Server) runSearch(g *graph.Graph, version uint64, req *SearchRequest) (
 		Pattern:  req.Pattern,
 		Alg:      alg,
 		Expanded: expanded,
-		Version:  version,
+		Version:  ev.Version(),
 		Results:  results,
 	}, nil
+}
+
+// guardedSearch runs one search converting evaluation cancellation into
+// an error.
+func (s *Server) guardedSearch(ev *eval.Evaluator, req *SearchRequest) (resp *SearchResponse, err error) {
+	err = eval.Guard(func() error {
+		var inner error
+		resp, inner = s.runSearch(ev, req)
+		return inner
+	})
+	return resp, err
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -129,13 +146,34 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	var resp *SearchResponse
-	err := s.st.Read(func(g *graph.Graph, version uint64) error {
-		var err error
-		resp, err = s.runSearch(g, version, &req)
-		return err
-	})
+	ctx, cancel, err := s.requestContext(r)
 	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
+
+	// Pin one snapshot for the request's lifetime: the query evaluates
+	// against this frozen version, writers proceed unblocked.
+	pin := s.st.Pin()
+	defer pin.Release()
+	ev := s.evaluator(pin.Snapshot(), pin.Version()).WithContext(ctx)
+
+	resp, err := s.guardedSearch(ev, &req)
+	if err != nil {
+		var c *eval.Canceled
+		if errors.As(err, &c) {
+			if errors.Is(c.Err, context.DeadlineExceeded) {
+				// Deadline: the query timed out server-side.
+				s.nTimeouts.Add(1)
+				s.writeError(w, http.StatusGatewayTimeout, err)
+			} else {
+				// Plain cancellation — typically the client went away;
+				// not a timeout, and the response is likely undeliverable.
+				s.writeError(w, http.StatusServiceUnavailable, err)
+			}
+			return
+		}
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -163,11 +201,14 @@ type BatchResponse struct {
 	Results []BatchResult `json:"results"`
 }
 
-// handleBatch answers many queries under one read lock: the distinct
-// pattern set of the whole batch (after Algorithm-1 expansion) is
-// materialized once, then a worker pool scores the queries against the
-// hot cache. This amortizes both the lock acquisition and the commuting
-// matrix computation across the batch.
+// handleBatch answers many queries against one pinned snapshot: the
+// distinct pattern set of the whole batch (after Algorithm-1 expansion)
+// is materialized once into the versioned cache, then a worker pool
+// scores the queries against the hot entries. All workers share the
+// single snapshot-bound evaluator, so every result reflects the same
+// graph version even while writers publish new versions concurrently —
+// the old RWMutex design got consistency by blocking those writers; the
+// pinned snapshot gets it for free.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.nBatch.Add(1)
 	var req BatchRequest
@@ -175,6 +216,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	ctx, cancel, err := s.requestContext(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
 	workers := req.Workers
 	if workers <= 0 {
 		workers = s.workers
@@ -183,35 +230,51 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		workers = len(req.Queries)
 	}
 
-	resp := BatchResponse{Results: make([]BatchResult, len(req.Queries))}
-	s.st.Read(func(g *graph.Graph, version uint64) error {
-		resp.Version = version
-		s.ev.Materialize(s.batchPatterns(req.Queries)...)
+	pin := s.st.Pin()
+	defer pin.Release()
+	ev := s.evaluator(pin.Snapshot(), pin.Version()).WithContext(ctx)
 
-		jobs := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range jobs {
-					res, err := s.runSearch(g, resp.Version, &req.Queries[i])
-					if err != nil {
-						s.nErrors.Add(1)
-						resp.Results[i] = BatchResult{Error: err.Error()}
-					} else {
-						resp.Results[i] = BatchResult{SearchResponse: res}
-					}
-				}
-			}()
-		}
-		for i := range req.Queries {
-			jobs <- i
-		}
-		close(jobs)
-		wg.Wait()
+	resp := BatchResponse{Version: pin.Version(), Results: make([]BatchResult, len(req.Queries))}
+	// Amortized materialization; on timeout the workers fail the
+	// individual queries below.
+	eval.Guard(func() error {
+		ev.Materialize(s.batchPatterns(req.Queries)...)
 		return nil
 	})
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var timedOut atomic.Bool
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				res, err := s.guardedSearch(ev, &req.Queries[i])
+				if err != nil {
+					s.nErrors.Add(1)
+					var c *eval.Canceled
+					if errors.As(err, &c) && errors.Is(c.Err, context.DeadlineExceeded) {
+						timedOut.Store(true)
+					}
+					resp.Results[i] = BatchResult{Error: err.Error()}
+				} else {
+					resp.Results[i] = BatchResult{SearchResponse: res}
+				}
+			}
+		}()
+	}
+	for i := range req.Queries {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	// One timed-out batch counts once, matching /search's accounting;
+	// the response stays 200 so queries that beat the deadline deliver
+	// their partial results.
+	if timedOut.Load() {
+		s.nTimeouts.Add(1)
+	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
@@ -328,38 +391,37 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if limit <= 0 {
 		limit = defaultExplainLimit
 	}
-	var resp ExplainResponse
-	err = s.st.Read(func(g *graph.Graph, version uint64) error {
-		u, ok := resolveNode(g, req.From)
-		if !ok {
-			return fmt.Errorf("from node %q not found", req.From)
-		}
-		v, ok := resolveNode(g, req.To)
-		if !ok {
-			return fmt.Errorf("to node %q not found", req.To)
-		}
-		m := s.ev.Commuting(p)
-		ins := s.ev.Instances(p, u, v, limit)
-		rendered := make([]string, len(ins))
-		for i, in := range ins {
-			rendered[i] = in.Render(g)
-		}
-		resp = ExplainResponse{
-			Pattern:   req.Pattern,
-			FromID:    u,
-			ToID:      v,
-			Count:     m.At(int(u), int(v)),
-			Score:     eval.PathSimScore(m, u, v),
-			Version:   version,
-			Instances: rendered,
-		}
-		return nil
-	})
-	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+
+	pin := s.st.Pin()
+	defer pin.Release()
+	snap := pin.Snapshot()
+	ev := s.evaluator(snap, pin.Version())
+
+	u, ok := resolveNode(snap, req.From)
+	if !ok {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("from node %q not found", req.From))
 		return
 	}
-	s.writeJSON(w, http.StatusOK, resp)
+	v, ok := resolveNode(snap, req.To)
+	if !ok {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("to node %q not found", req.To))
+		return
+	}
+	m := ev.Commuting(p)
+	ins := ev.Instances(p, u, v, limit)
+	rendered := make([]string, len(ins))
+	for i, in := range ins {
+		rendered[i] = in.Render(snap)
+	}
+	s.writeJSON(w, http.StatusOK, ExplainResponse{
+		Pattern:   req.Pattern,
+		FromID:    u,
+		ToID:      v,
+		Count:     m.At(int(u), int(v)),
+		Score:     eval.PathSimScore(m, u, v),
+		Version:   pin.Version(),
+		Instances: rendered,
+	})
 }
 
 // NodeSpec is one node to add.
@@ -378,17 +440,18 @@ type EdgeSpec struct {
 }
 
 // MutationRequest is the POST /graph/edges body. AddNodes apply first,
-// then Add, then Remove. The batch is applied in order under one write
-// lock; on the first failing operation the request stops and reports the
-// error, with earlier operations already applied (the response carries
-// the counts and the reached version either way).
+// then Add, then Remove. The batch commits atomically: on the first
+// failing operation the whole batch rolls back — no version is
+// published and readers never see partial state.
 type MutationRequest struct {
 	AddNodes []NodeSpec `json:"add_nodes,omitempty"`
 	Add      []EdgeSpec `json:"add,omitempty"`
 	Remove   []EdgeSpec `json:"remove,omitempty"`
 }
 
-// MutationResponse is the POST /graph/edges body.
+// MutationResponse is the POST /graph/edges body. Version is the
+// version the batch committed at (or the unchanged current version when
+// the batch failed and rolled back).
 type MutationResponse struct {
 	Version      uint64         `json:"version"`
 	NodesAdded   []graph.NodeID `json:"nodes_added,omitempty"`
@@ -406,18 +469,15 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	}
 	var resp MutationResponse
 	err := s.st.Update(func(tx *store.Tx) error {
-		// Capture the version under the write lock; after commit it may
-		// already include other writers' mutations.
-		defer func() { resp.Version = tx.Version() }()
 		for _, ns := range req.AddNodes {
 			resp.NodesAdded = append(resp.NodesAdded, tx.AddNode(ns.Name, ns.Type))
 		}
 		for _, es := range req.Add {
-			u, ok := resolveNode(tx.Graph(), es.From)
+			u, ok := resolveNode(tx, es.From)
 			if !ok {
 				return fmt.Errorf("add: from node %q not found", es.From)
 			}
-			v, ok := resolveNode(tx.Graph(), es.To)
+			v, ok := resolveNode(tx, es.To)
 			if !ok {
 				return fmt.Errorf("add: to node %q not found", es.To)
 			}
@@ -427,11 +487,11 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 			resp.EdgesAdded++
 		}
 		for _, es := range req.Remove {
-			u, ok := resolveNode(tx.Graph(), es.From)
+			u, ok := resolveNode(tx, es.From)
 			if !ok {
 				return fmt.Errorf("remove: from node %q not found", es.From)
 			}
-			v, ok := resolveNode(tx.Graph(), es.To)
+			v, ok := resolveNode(tx, es.To)
 			if !ok {
 				return fmt.Errorf("remove: to node %q not found", es.To)
 			}
@@ -440,10 +500,12 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 			}
 			resp.EdgesRemoved++
 		}
+		resp.Version = tx.Version()
 		return nil
 	})
 	if err != nil {
-		resp.Error = err.Error()
+		// Rolled back: no partial counts, no version bump.
+		resp = MutationResponse{Version: s.st.Version(), Error: err.Error()}
 		s.nErrors.Add(1)
 		s.writeJSON(w, http.StatusBadRequest, resp)
 		return

@@ -1,22 +1,36 @@
 // Package server exposes the RelSim query engine as a concurrent
-// HTTP/JSON service over a store.Store:
+// HTTP/JSON service over an MVCC store.Store:
 //
 //	POST /search       one similarity query (structurally robust pipeline)
 //	POST /batch        many queries, amortizing materialization across a worker pool
 //	POST /explain      instance-level provenance: why are u and v similar under p?
 //	POST /graph/edges  mutations: add nodes, add edges, remove edges
 //	GET  /healthz      liveness
-//	GET  /stats        store version, graph size, cache and request counters
+//	GET  /stats        store version, pinned-version spread, cache and request counters
 //
-// Queries run under the store's read lock; mutations run under its
-// write lock and drive incremental invalidation of the evaluator's
-// commuting-matrix cache — only cached patterns whose label set
-// intersects the touched edge labels are evicted, so a write to label
-// "cites" leaves the materialized "author.author-" matrices hot.
+// Every request pins exactly one immutable snapshot for its lifetime:
+// queries evaluate against that frozen version with zero lock cost and
+// are never blocked by writers; /batch shares a single pinned snapshot
+// and a single snapshot-bound evaluator across its whole worker pool,
+// so the amortized materialization pass stays consistent even while
+// writes land concurrently. Mutations commit copy-on-write versions
+// through the store and age the shared commuting-matrix cache: entries
+// are keyed by (version, pattern), so a write can never corrupt a
+// pinned reader's results — the label-based hook merely carries
+// untouched patterns' matrices forward to the new version and evicts
+// the rest proactively.
+//
+// /search and /batch run under a context deadline (WithTimeout default,
+// ?timeout_ms= per-request override); cancellation is checked between
+// matrix products, so a timed-out query stops burning CPU. A timed-out
+// /search answers 504; a timed-out /batch still answers 200, delivering
+// the queries that beat the deadline and per-query errors for the rest.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"strconv"
 	"sync"
@@ -28,6 +42,7 @@ import (
 	"relsim/internal/pattern"
 	"relsim/internal/rre"
 	"relsim/internal/schema"
+	"relsim/internal/sparse"
 	"relsim/internal/store"
 )
 
@@ -39,10 +54,12 @@ const DefaultWorkers = 4
 // usable.
 type Server struct {
 	st      *store.Store
-	ev      *eval.Evaluator
+	cache   *eval.Cache
 	schema  *schema.Schema
 	genOpt  pattern.Options
 	workers int
+	timeout time.Duration // default per-request deadline; 0 = none
+	gate    sparse.Thresholds
 	mux     *http.ServeMux
 	start   time.Time
 
@@ -53,7 +70,7 @@ type Server struct {
 	expandMu sync.Mutex
 	expand   map[string][]*rre.Pattern
 
-	nSearch, nBatch, nExplain, nMutate, nErrors atomic.Uint64
+	nSearch, nBatch, nExplain, nMutate, nErrors, nTimeouts atomic.Uint64
 }
 
 // Option configures a Server.
@@ -68,10 +85,24 @@ func WithWorkers(n int) Option {
 	}
 }
 
-// WithCacheLimit bounds the evaluator's commuting-matrix cache to n
-// matrices (LRU eviction). n <= 0 leaves it unbounded.
+// WithCacheLimit bounds the shared commuting-matrix cache to n matrices
+// (LRU eviction across all versions). n <= 0 leaves it unbounded.
 func WithCacheLimit(n int) Option {
-	return func(s *Server) { s.ev.SetCacheLimit(n) }
+	return func(s *Server) { s.cache.SetLimit(n) }
+}
+
+// WithTimeout sets the default deadline for /search and /batch
+// evaluation. Requests may override it with ?timeout_ms=. d <= 0
+// disables the default (the zero value).
+func WithTimeout(d time.Duration) Option {
+	return func(s *Server) { s.timeout = d }
+}
+
+// WithParallelThresholds sets the gate deciding when commuting-matrix
+// products use the parallel SpGEMM kernel. Lower it on experiment-scale
+// graphs so /batch materialization parallelizes.
+func WithParallelThresholds(t sparse.Thresholds) Option {
+	return func(s *Server) { s.gate = t }
 }
 
 // WithGenOptions overrides the Algorithm-1 expansion options used by the
@@ -83,18 +114,21 @@ func WithGenOptions(opt pattern.Options) Option {
 // New builds a server over st. sc may be nil; the schema then has no
 // constraints and simple patterns are scored without expansion (the
 // label set is taken from the graph at construction time). The server
-// registers itself as the store's update observer so mutations evict
-// exactly the stale cached matrices.
+// registers itself as the store's update observer so committed writes
+// age the versioned cache (carry untouched patterns forward, evict the
+// rest).
 func New(st *store.Store, sc *schema.Schema, opts ...Option) *Server {
 	if sc == nil {
-		sc = schema.New(st.Graph().Labels())
+		snap, _ := st.Snapshot()
+		sc = schema.New(snap.Labels())
 	}
 	s := &Server{
 		st:      st,
-		ev:      eval.New(st.Graph()),
+		cache:   eval.NewCache(),
 		schema:  sc,
 		genOpt:  pattern.Default(),
 		workers: DefaultWorkers,
+		gate:    sparse.DefaultThresholds(),
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
 		expand:  make(map[string][]*rre.Pattern),
@@ -102,7 +136,7 @@ func New(st *store.Store, sc *schema.Schema, opts ...Option) *Server {
 	for _, o := range opts {
 		o(s)
 	}
-	st.OnUpdate(s.applyInvalidation)
+	st.OnUpdate(s.ageCache)
 	s.mux.HandleFunc("POST /search", s.handleSearch)
 	s.mux.HandleFunc("POST /batch", s.handleBatch)
 	s.mux.HandleFunc("POST /explain", s.handleExplain)
@@ -117,20 +151,37 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// Evaluator returns the server's evaluator (tests and stats probing).
-func (s *Server) Evaluator() *eval.Evaluator { return s.ev }
+// Cache returns the server's shared versioned commuting-matrix cache
+// (tests and stats probing).
+func (s *Server) Cache() *eval.Cache { return s.cache }
 
-// applyInvalidation translates an update batch into the narrowest cache
-// eviction: node additions change the matrix dimension, so everything
-// goes; otherwise only patterns mentioning a touched edge label go. It
-// runs under the store's write lock, so no reader can repopulate the
-// cache from the pre-mutation graph in between.
-func (s *Server) applyInvalidation(updates []store.Update) {
+// Store returns the server's store.
+func (s *Server) Store() *store.Store { return s.st }
+
+// evaluator binds a snapshot-scoped evaluator over the shared cache.
+func (s *Server) evaluator(snap *graph.Snapshot, version uint64) *eval.Evaluator {
+	ev := eval.NewVersioned(snap, version, s.cache)
+	ev.SetParallelThresholds(s.gate)
+	return ev
+}
+
+// ageCache translates a committed update batch into versioned-cache
+// maintenance. Correctness never requires invalidation under MVCC (all
+// entries are keyed by immutable versions); this is the proactive pass
+// that keeps the cache hot and bounded: entries at the pre-write
+// version whose patterns are untouched carry forward to the new version
+// (so the next read hits), touched ones are evicted
+// (Cache.InvalidateLabels semantics), and entries below the oldest
+// still-pinned version are dropped entirely. It runs after publication,
+// still on the writer's goroutine, so batches age the cache in commit
+// order.
+func (s *Server) ageCache(updates []store.Update) {
 	labels := make(map[string]bool)
+	nodesChanged := false
 	for _, u := range updates {
 		if u.Op == store.OpAddNode {
-			s.ev.InvalidateAll()
-			return
+			nodesChanged = true
+			continue
 		}
 		labels[u.Edge.Label] = true
 	}
@@ -138,7 +189,32 @@ func (s *Server) applyInvalidation(updates []store.Update) {
 	for l := range labels {
 		ls = append(ls, l)
 	}
-	s.ev.InvalidateLabels(ls...)
+	from := updates[0].Version - 1
+	to := updates[len(updates)-1].Version
+	oldestPinned := s.st.OldestPinned()
+	// Readers still pinned at the pre-write version keep their entries
+	// (Advance copies instead of moving); EvictBelow reaps them — and
+	// any older version's leftovers — once no pin needs them.
+	s.cache.Advance(from, to, ls, nodesChanged, oldestPinned <= from)
+	s.cache.EvictBelow(oldestPinned)
+}
+
+// requestContext derives the evaluation context: the server default
+// timeout, overridden by a positive ?timeout_ms= query parameter.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	d := s.timeout
+	if raw := r.URL.Query().Get("timeout_ms"); raw != "" {
+		ms, err := strconv.Atoi(raw)
+		if err != nil || ms <= 0 {
+			return nil, nil, fmt.Errorf("invalid timeout_ms %q", raw)
+		}
+		d = time.Duration(ms) * time.Millisecond
+	}
+	if d <= 0 {
+		return r.Context(), func() {}, nil
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	return ctx, cancel, nil
 }
 
 // errorResponse is the uniform error body.
@@ -169,30 +245,50 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // StatsResponse is the GET /stats body.
 type StatsResponse struct {
-	Store         store.Stats       `json:"store"`
-	Cache         eval.CacheStats   `json:"cache"`
+	Store store.Stats     `json:"store"`
+	Pins  store.PinStats  `json:"pins"`
+	Cache eval.CacheStats `json:"cache"`
+	// CacheVersions maps graph version → cached matrix count: how much
+	// of the cache serves the live version vs. still-pinned history.
+	CacheVersions map[uint64]int    `json:"cache_versions"`
 	Requests      map[string]uint64 `json:"requests"`
 	UptimeSeconds float64           `json:"uptime_seconds"`
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, StatsResponse{
-		Store: s.st.Stats(),
-		Cache: s.ev.Stats(),
+// Stats assembles the /stats body (also used by the CLI's shutdown
+// flush).
+func (s *Server) Stats() StatsResponse {
+	return StatsResponse{
+		Store:         s.st.Stats(),
+		Pins:          s.st.PinStats(),
+		Cache:         s.cache.Stats(),
+		CacheVersions: s.cache.VersionOccupancy(),
 		Requests: map[string]uint64{
 			"search":    s.nSearch.Load(),
 			"batch":     s.nBatch.Load(),
 			"explain":   s.nExplain.Load(),
 			"mutations": s.nMutate.Load(),
 			"errors":    s.nErrors.Load(),
+			"timeouts":  s.nTimeouts.Load(),
 		},
 		UptimeSeconds: time.Since(s.start).Seconds(),
-	})
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// nodeResolver is the lookup surface resolveNode needs; satisfied by
+// graph views and by write transactions (read-your-writes).
+type nodeResolver interface {
+	NodeByName(name string) (graph.Node, bool)
+	Has(id graph.NodeID) bool
 }
 
 // resolveNode resolves a node reference: first as a display name, then
 // as a decimal node id.
-func resolveNode(g *graph.Graph, ref string) (graph.NodeID, bool) {
+func resolveNode(g nodeResolver, ref string) (graph.NodeID, bool) {
 	if n, ok := g.NodeByName(ref); ok {
 		return n.ID, true
 	}

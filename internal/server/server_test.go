@@ -203,7 +203,7 @@ func TestMutationRoundTrip(t *testing.T) {
 	}
 	post(t, ts, "/search", SearchRequest{Pattern: "cites", Query: "p1", Alg: "relsim"}, &SearchResponse{})
 
-	cacheBefore := srv.Evaluator().Stats()
+	cacheBefore := srv.Cache().Stats()
 	if cacheBefore.Size == 0 {
 		t.Fatal("cache not primed")
 	}
@@ -220,7 +220,7 @@ func TestMutationRoundTrip(t *testing.T) {
 
 	// Selective invalidation: only the "cites" matrix went; the three
 	// "by" matrices (by, by-, by.by-) survive.
-	cacheAfter := srv.Evaluator().Stats()
+	cacheAfter := srv.Cache().Stats()
 	if got, want := cacheAfter.Invalidations-cacheBefore.Invalidations, uint64(1); got != want {
 		t.Errorf("invalidated %d entries, want %d (only the cites matrix)", got, want)
 	}
@@ -231,7 +231,7 @@ func TestMutationRoundTrip(t *testing.T) {
 	// The repeated "by" search is served entirely from cache…
 	var again SearchResponse
 	post(t, ts, "/search", SearchRequest{Pattern: "by.by-", Query: "p1", Type: "paper"}, &again)
-	st := srv.Evaluator().Stats()
+	st := srv.Cache().Stats()
 	if st.Misses != cacheAfter.Misses {
 		t.Errorf("repeated by.by- search recomputed matrices: misses %d → %d", cacheAfter.Misses, st.Misses)
 	}

@@ -177,13 +177,7 @@ func (m *Matrix) Transpose() *Matrix {
 // result is bit-identical to the serial one. It panics if dimensions
 // differ.
 func (m *Matrix) Mul(o *Matrix) *Matrix {
-	if m.n != o.n {
-		panic(fmt.Sprintf("sparse: Mul dimension mismatch %d vs %d", m.n, o.n))
-	}
-	if m.n >= parallelMinDim && len(m.val)+len(o.val) >= parallelMinNNZ {
-		return m.mulParallel(o)
-	}
-	return m.mulSerial(o)
+	return m.MulThresh(o, DefaultThresholds())
 }
 
 // Add returns m + o element-wise, the commuting matrix of a disjunction

@@ -1,6 +1,7 @@
 package sparse
 
 import (
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
@@ -19,6 +20,33 @@ const (
 	parallelMinDim = 512
 	parallelMinNNZ = 20000
 )
+
+// Thresholds gates the parallel SpGEMM kernel: a product runs on the
+// row-partitioned parallel kernel when the dimension is at least MinDim
+// AND the combined operand nnz is at least MinNNZ. Lower values favor
+// parallelism on smaller inputs; zero values force the parallel kernel
+// for every nonempty product.
+type Thresholds struct {
+	MinDim int `json:"min_dim"`
+	MinNNZ int `json:"min_nnz"`
+}
+
+// DefaultThresholds returns the built-in gate used by Mul.
+func DefaultThresholds() Thresholds {
+	return Thresholds{MinDim: parallelMinDim, MinNNZ: parallelMinNNZ}
+}
+
+// MulThresh is Mul with an explicit parallel-kernel gate. The result is
+// bit-identical whichever kernel runs. It panics if dimensions differ.
+func (m *Matrix) MulThresh(o *Matrix, t Thresholds) *Matrix {
+	if m.n != o.n {
+		panic(fmt.Sprintf("sparse: Mul dimension mismatch %d vs %d", m.n, o.n))
+	}
+	if m.n > 0 && m.n >= t.MinDim && len(m.val)+len(o.val) >= t.MinNNZ {
+		return m.mulParallel(o)
+	}
+	return m.mulSerial(o)
+}
 
 // mulSerial is the single-threaded Gustavson kernel.
 func (m *Matrix) mulSerial(o *Matrix) *Matrix {

@@ -1,21 +1,31 @@
-// Package store wraps graph.Graph in a versioned, mutable store: every
-// mutation runs under a write lock, bumps a monotonically increasing
-// version number, and is appended to a bounded update log. Readers take
-// a shared read lock for the duration of an evaluation, so a query
-// always sees one consistent graph version.
+// Package store is a multi-version concurrency-control (MVCC) graph
+// store. The current version is an immutable graph.Snapshot behind an
+// atomic pointer: Snapshot() costs one atomic load — readers never take
+// a lock and are never blocked by writers. Write transactions build the
+// next version copy-on-write through a graph.Builder (only the touched
+// labels' adjacency and, on node additions, the node table are copied)
+// and publish it atomically; a transaction whose callback fails
+// publishes nothing, so batches are all-or-nothing.
 //
-// The update log is what makes live serving compatible with the
-// evaluator's commuting-matrix cache: an eval.Evaluator caches M_p per
-// pattern and those matrices go stale when the graph changes. The store
-// reports every change to a registered observer (see OnUpdate), which
-// internal/server uses to evict exactly the cached matrices whose
-// pattern mentions a touched edge label — incremental invalidation
-// instead of a full cache flush on every write.
+// Version numbers are monotonic and bump once per mutation; a batch of
+// k mutations moves the store forward k versions in one publish. The
+// bounded update log records every committed mutation with the version
+// it produced, and a registered observer (OnUpdate) sees each committed
+// batch — internal/server uses it to age the evaluator's versioned
+// commuting-matrix cache.
+//
+// Readers that want their version accounted for in monitoring pin it:
+// Pin() registers the version until Release, and PinStats reports the
+// live version and the spread of pinned versions, which is the lag a
+// slow reader imposes on memory (old snapshots stay reachable while
+// pinned).
 package store
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"relsim/internal/graph"
 )
@@ -43,67 +53,167 @@ type Update struct {
 // dropped; the version counter itself is never reset.
 const DefaultLogCap = 256
 
-// Store is a versioned, mutable graph store safe for concurrent use.
-type Store struct {
-	mu       sync.RWMutex
-	g        *graph.Graph
-	version  uint64
-	log      []Update
-	logCap   int
-	onUpdate func([]Update)
+// versioned pairs a snapshot with the version it represents; it is the
+// unit published through the atomic pointer.
+type versioned struct {
+	snap    *graph.Snapshot
+	version uint64
 }
 
-// New wraps g in a store. The caller must not mutate or read g directly
-// afterwards; all access goes through the store.
+// Store is an MVCC graph store safe for concurrent use.
+type Store struct {
+	current atomic.Pointer[versioned]
+
+	// writeMu serializes writers (version chain is single-writer);
+	// readers never touch it.
+	writeMu  sync.Mutex
+	onUpdate func([]Update)
+
+	// mu guards the update log and the pin registry.
+	mu     sync.Mutex
+	log    []Update
+	logCap int
+	pins   map[uint64]int
+}
+
+// New wraps g in a store at version 0. The snapshot is taken eagerly;
+// the caller may keep using g, but later mutations to it are invisible
+// to the store.
 func New(g *graph.Graph) *Store {
 	if g == nil {
 		g = graph.New()
 	}
-	return &Store{g: g, logCap: DefaultLogCap}
+	s := &Store{logCap: DefaultLogCap, pins: make(map[uint64]int)}
+	s.current.Store(&versioned{snap: g.Snapshot(), version: 0})
+	return s
 }
 
-// OnUpdate registers fn to observe every applied mutation batch. fn runs
-// while the write lock is held — before any subsequent reader can see
-// the new graph state — which is what lets an observer invalidate
-// derived caches without a window where a reader could re-populate them
-// from the old state. Keep fn fast; it must not call back into the
-// store. Only one observer is supported; a second call replaces it.
+// OnUpdate registers fn to observe every committed mutation batch. fn
+// runs after the new version is published, still under the writer lock,
+// so observers see batches in commit order exactly once. With versioned
+// snapshots the observer is not needed for correctness (readers at old
+// versions keep consistent data); it is the hook for proactive cache
+// aging. Keep fn fast; it must not call Update (writer re-entry
+// deadlocks). Only one observer is supported; a second call replaces
+// it.
 func (s *Store) OnUpdate(fn func([]Update)) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
 	s.onUpdate = fn
 }
 
-// Version returns the current store version: the number of mutations
-// ever applied. It starts at 0 and bumps by one per mutation.
-func (s *Store) Version() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.version
+// Snapshot returns the current immutable snapshot and its version with
+// a single atomic load — the zero-lock read path. The snapshot stays
+// consistent forever; hold it as long as needed.
+func (s *Store) Snapshot() (*graph.Snapshot, uint64) {
+	cur := s.current.Load()
+	return cur.snap, cur.version
 }
 
-// Graph returns the wrapped graph. The pointer is stable across
-// mutations (evaluators may hold it), but it must only be dereferenced
-// inside Read or Update — unguarded access races with writers.
-func (s *Store) Graph() *graph.Graph { return s.g }
+// Version returns the current store version: the number of mutations
+// ever committed. It starts at 0 and bumps by one per mutation.
+func (s *Store) Version() uint64 { return s.current.Load().version }
 
-// Read runs fn under the shared read lock, passing the graph and the
-// version it is at. fn must not mutate the graph, retain it past the
-// call, or call back into the store (a nested lock acquisition can
-// deadlock against a queued writer). All evaluation over a live store
-// belongs inside Read so a query sees one consistent version end to end.
-func (s *Store) Read(fn func(g *graph.Graph, version uint64) error) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return fn(s.g, s.version)
+// Read runs fn against the current snapshot. It is sugar over
+// Snapshot(): no lock is held, fn may run as long as it likes without
+// blocking writers, and the snapshot may be retained past the call.
+func (s *Store) Read(fn func(snap *graph.Snapshot, version uint64) error) error {
+	snap, v := s.Snapshot()
+	return fn(snap, v)
+}
+
+// Pin pins the current version for monitoring: the returned Pin's
+// snapshot is the reader's consistent view, and the version counts
+// toward PinStats until Release. Release is idempotent. The load and
+// the registration happen under the same mutex commits publish under,
+// so a pin is never invisible to a concurrent commit's OldestPinned
+// pass.
+func (s *Store) Pin() *Pin {
+	s.mu.Lock()
+	cur := s.current.Load()
+	s.pins[cur.version]++
+	s.mu.Unlock()
+	return &Pin{s: s, snap: cur.snap, version: cur.version}
+}
+
+// Pin is a pinned snapshot: one reader's consistent view of one
+// version.
+type Pin struct {
+	s        *Store
+	snap     *graph.Snapshot
+	version  uint64
+	released atomic.Bool
+}
+
+// Snapshot returns the pinned snapshot.
+func (p *Pin) Snapshot() *graph.Snapshot { return p.snap }
+
+// Version returns the pinned version.
+func (p *Pin) Version() uint64 { return p.version }
+
+// Release unpins. Idempotent; safe to defer.
+func (p *Pin) Release() {
+	if p.released.Swap(true) {
+		return
+	}
+	p.s.mu.Lock()
+	if n := p.s.pins[p.version]; n <= 1 {
+		delete(p.s.pins, p.version)
+	} else {
+		p.s.pins[p.version] = n - 1
+	}
+	p.s.mu.Unlock()
+}
+
+// PinStats reports the live version and the currently pinned versions
+// (ascending, with reader counts). Spread is live − oldest pinned: how
+// far the slowest pinned reader trails the writers.
+type PinStats struct {
+	Live    uint64   `json:"live_version"`
+	Pinned  []uint64 `json:"pinned_versions,omitempty"`
+	Readers int      `json:"pinned_readers"`
+	Spread  uint64   `json:"version_spread"`
+}
+
+// PinStats returns a point-in-time pin summary.
+func (s *Store) PinStats() PinStats {
+	live := s.Version()
+	s.mu.Lock()
+	ps := PinStats{Live: live}
+	for v, n := range s.pins {
+		ps.Pinned = append(ps.Pinned, v)
+		ps.Readers += n
+	}
+	s.mu.Unlock()
+	sort.Slice(ps.Pinned, func(i, j int) bool { return ps.Pinned[i] < ps.Pinned[j] })
+	if len(ps.Pinned) > 0 && ps.Pinned[0] < live {
+		ps.Spread = live - ps.Pinned[0]
+	}
+	return ps
+}
+
+// OldestPinned returns the oldest pinned version, or the live version
+// when nothing is pinned. Cache aging uses it as the eviction floor:
+// entries below it can serve no pinned reader.
+func (s *Store) OldestPinned() uint64 {
+	live := s.Version()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	oldest := live
+	for v := range s.pins {
+		if v < oldest {
+			oldest = v
+		}
+	}
+	return oldest
 }
 
 // Log returns the retained update records with version > since, oldest
 // first. Records older than the retention bound are gone; a caller that
 // finds a gap (first returned version > since+1) must resynchronize.
 func (s *Store) Log(since uint64) []Update {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var out []Update
 	for _, u := range s.log {
 		if u.Version > since {
@@ -123,85 +233,102 @@ type Stats struct {
 
 // Stats returns a consistent snapshot of version and graph size.
 func (s *Store) Stats() Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return Stats{Version: s.version, Nodes: s.g.NumNodes(), Edges: s.g.NumEdges(), Labels: s.g.Labels()}
+	snap, v := s.Snapshot()
+	return Stats{Version: v, Nodes: snap.NumNodes(), Edges: snap.NumEdges(), Labels: snap.Labels()}
 }
 
-// Tx is a write transaction: a batch of mutations applied under one
-// write lock. Obtain one via Update.
+// Tx is a write transaction: a batch of mutations built copy-on-write
+// against the version current at transaction start, committed
+// atomically (all-or-nothing). Obtain one via Update.
 type Tx struct {
-	s       *Store
+	b       *graph.Builder
+	base    uint64
 	updates []Update
 }
 
-// Graph exposes the graph for read-your-writes resolution (for example
-// looking up a node added earlier in the same transaction). The write
-// lock is held, so plain reads are safe; mutate only via the Tx methods
-// so the version counter and update log stay truthful.
-func (tx *Tx) Graph() *graph.Graph { return tx.s.g }
+// Has reports whether id is a node, seeing the transaction's own
+// additions (read-your-writes).
+func (tx *Tx) Has(id graph.NodeID) bool { return tx.b.Has(id) }
+
+// NodeByName resolves a display name, seeing the transaction's own
+// additions.
+func (tx *Tx) NodeByName(name string) (graph.Node, bool) { return tx.b.NodeByName(name) }
+
+// Base returns the snapshot the transaction derives from — the
+// pre-transaction state, useful for validate-before-mutate checks.
+func (tx *Tx) Base() *graph.Snapshot { return tx.b.Base() }
 
 // AddNode adds a node and returns its id.
 func (tx *Tx) AddNode(name, typ string) graph.NodeID {
-	id := tx.s.g.AddNode(name, typ)
+	id := tx.b.AddNode(name, typ)
 	tx.record(Update{Op: OpAddNode, Node: id})
 	return id
 }
 
 // AddEdge adds the edge (u, label, v), validating endpoints and label.
 func (tx *Tx) AddEdge(u graph.NodeID, label string, v graph.NodeID) error {
-	if !tx.s.g.Has(u) || !tx.s.g.Has(v) {
-		return fmt.Errorf("store: add edge (%d,%q,%d): endpoint does not exist", u, label, v)
+	if err := tx.b.AddEdge(u, label, v); err != nil {
+		return fmt.Errorf("store: %w", err)
 	}
-	if label == "" {
-		return fmt.Errorf("store: add edge (%d,,%d): empty label", u, v)
-	}
-	tx.s.g.AddEdge(u, label, v)
 	tx.record(Update{Op: OpAddEdge, Edge: graph.Edge{From: u, Label: label, To: v}})
 	return nil
 }
 
 // RemoveEdge removes one (u, label, v) edge.
 func (tx *Tx) RemoveEdge(u graph.NodeID, label string, v graph.NodeID) error {
-	if !tx.s.g.RemoveEdge(u, label, v) {
+	if !tx.b.RemoveEdge(u, label, v) {
 		return fmt.Errorf("store: remove edge (%d,%q,%d): no such edge", u, label, v)
 	}
 	tx.record(Update{Op: OpRemoveEdge, Edge: graph.Edge{From: u, Label: label, To: v}})
 	return nil
 }
 
-// Version returns the store version as of the transaction's last
-// mutation. Captured under the write lock, it is the watermark to hand
-// back to clients: reading Store.Version after the transaction commits
-// can already include other writers' mutations.
-func (tx *Tx) Version() uint64 { return tx.s.version }
+// Version returns the version the transaction commits at: the base
+// version plus the mutations recorded so far. If the transaction's
+// callback returns an error nothing commits and the store stays at the
+// base version.
+func (tx *Tx) Version() uint64 { return tx.base + uint64(len(tx.updates)) }
 
 func (tx *Tx) record(u Update) {
-	tx.s.version++
-	u.Version = tx.s.version
+	u.Version = tx.base + uint64(len(tx.updates)) + 1
 	tx.updates = append(tx.updates, u)
 }
 
-// Update runs fn as a write transaction. Mutations apply in order as fn
-// makes them; if fn returns an error, mutations already applied persist
-// (there is no rollback) and the error is returned, so validate before
-// mutating when a batch must be all-or-nothing. The registered OnUpdate
-// observer sees every applied record either way.
+// Update runs fn as a write transaction. Mutations accumulate in a
+// copy-on-write builder; if fn returns nil the next snapshot is built
+// and published atomically, the update log grows by the batch, and the
+// OnUpdate observer runs. If fn returns an error NOTHING is published —
+// the batch rolls back wholesale and readers never see partial state.
+// Writers are serialized; readers are never blocked.
 func (s *Store) Update(fn func(tx *Tx) error) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	tx := &Tx{s: s}
-	err := fn(tx)
-	if len(tx.updates) > 0 {
-		s.log = append(s.log, tx.updates...)
-		if over := len(s.log) - s.logCap; over > 0 {
-			s.log = append(s.log[:0:0], s.log[over:]...)
-		}
-		if s.onUpdate != nil {
-			s.onUpdate(tx.updates)
-		}
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	cur := s.current.Load()
+	tx := &Tx{b: graph.NewBuilder(cur.snap), base: cur.version}
+	if err := fn(tx); err != nil {
+		return err
 	}
-	return err
+	if len(tx.updates) == 0 {
+		return nil
+	}
+	next := &versioned{snap: tx.b.Build(), version: cur.version + uint64(len(tx.updates))}
+	// Publish under s.mu (alongside the log append) so Pin's
+	// load-and-register is atomic with respect to commits: after this
+	// critical section, any reader pinning the old version is already
+	// registered, and any new Pin sees the new version. Lock-free
+	// Snapshot()/Version() readers are unaffected — the pointer store
+	// is still atomic.
+	s.mu.Lock()
+	s.current.Store(next)
+	s.log = append(s.log, tx.updates...)
+	if over := len(s.log) - s.logCap; over > 0 {
+		s.log = append(s.log[:0:0], s.log[over:]...)
+	}
+	s.mu.Unlock()
+	if s.onUpdate != nil {
+		s.onUpdate(tx.updates)
+	}
+	return nil
 }
 
 // AddNode adds a single node outside a batch.

@@ -63,7 +63,7 @@ func TestRemoveEdgeRoundTrip(t *testing.T) {
 	if err := s.RemoveEdge(a, "x", b); err != nil {
 		t.Fatal(err)
 	}
-	s.Read(func(g *graph.Graph, _ uint64) error {
+	s.Read(func(g *graph.Snapshot, _ uint64) error {
 		if g.NumEdges() != 0 {
 			t.Errorf("NumEdges = %d, want 0", g.NumEdges())
 		}
@@ -75,7 +75,7 @@ func TestRemoveEdgeRoundTrip(t *testing.T) {
 	if err := s.AddEdge(a, "x", b); err != nil {
 		t.Fatal(err)
 	}
-	s.Read(func(g *graph.Graph, _ uint64) error {
+	s.Read(func(g *graph.Snapshot, _ uint64) error {
 		if !g.HasEdge(a, "x", b) {
 			t.Error("edge missing after re-add")
 		}
@@ -153,7 +153,7 @@ func TestConcurrentReadersAndWriters(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < iters; i++ {
-				s.Read(func(g *graph.Graph, _ uint64) error {
+				s.Read(func(g *graph.Snapshot, _ uint64) error {
 					g.Degree(a)
 					g.Edges()
 					return nil

@@ -27,6 +27,7 @@ package relsim
 
 import (
 	"fmt"
+	"time"
 
 	"relsim/internal/eval"
 	"relsim/internal/graph"
@@ -36,6 +37,7 @@ import (
 	"relsim/internal/schema"
 	"relsim/internal/server"
 	"relsim/internal/sim"
+	"relsim/internal/sparse"
 	"relsim/internal/store"
 )
 
@@ -68,8 +70,16 @@ type (
 	ConclusionAtom = mapping.ConclusionAtom
 	// Ranking is a ranked similarity answer list.
 	Ranking = sim.Ranking
-	// Store is a versioned, mutable graph store for live serving.
+	// Snapshot is an immutable graph version (MVCC read view).
+	Snapshot = graph.Snapshot
+	// GraphView is the read interface shared by *Graph and *Snapshot.
+	GraphView = graph.View
+	// Store is an MVCC graph store: lock-free snapshot reads,
+	// copy-on-write write transactions.
 	Store = store.Store
+	// StorePin is a pinned snapshot: one reader's registered view of one
+	// version (see Store.Pin).
+	StorePin = store.Pin
 	// StoreUpdate is one record of a store's update log.
 	StoreUpdate = store.Update
 	// Server is the HTTP/JSON query service over a Store.
@@ -78,14 +88,18 @@ type (
 	ServerOption = server.Option
 	// CacheStats is a snapshot of an engine's commuting-matrix cache.
 	CacheStats = eval.CacheStats
+	// ParallelThresholds gates the parallel SpGEMM kernel.
+	ParallelThresholds = sparse.Thresholds
 )
 
 // NewGraph returns an empty graph database.
 func NewGraph() *Graph { return graph.New() }
 
-// NewStore wraps g in a versioned, mutable store: mutations run under a
-// write lock, bump the store version and feed an update log; reads run
-// under a shared lock. Use it with NewServer for live serving.
+// NewStore wraps g in an MVCC store: Store.Snapshot returns the current
+// immutable version with one atomic load (readers are never blocked),
+// and write transactions build the next version copy-on-write, publish
+// it atomically, bump the version per mutation and feed the update log.
+// Use it with NewServer for live serving.
 func NewStore(g *Graph) *Store { return store.New(g) }
 
 // NewServer builds the HTTP/JSON query service over st. The schema may
@@ -98,9 +112,19 @@ func NewServer(st *Store, s *Schema, opts ...ServerOption) *Server {
 // WithServerWorkers sets the default /batch worker-pool size.
 func WithServerWorkers(n int) ServerOption { return server.WithWorkers(n) }
 
-// WithServerCacheLimit bounds the server's commuting-matrix cache to n
-// matrices with LRU eviction.
+// WithServerCacheLimit bounds the server's versioned commuting-matrix
+// cache to n matrices with LRU eviction across all graph versions.
 func WithServerCacheLimit(n int) ServerOption { return server.WithCacheLimit(n) }
+
+// WithServerTimeout sets the default /search and /batch evaluation
+// deadline (override per request with ?timeout_ms=).
+func WithServerTimeout(d time.Duration) ServerOption { return server.WithTimeout(d) }
+
+// WithServerParallelThresholds sets the parallel SpGEMM gate used by
+// the server's evaluators.
+func WithServerParallelThresholds(t ParallelThresholds) ServerOption {
+	return server.WithParallelThresholds(t)
+}
 
 // NewSchema builds a schema from labels and constraints.
 func NewSchema(labels []string, constraints ...Constraint) *Schema {
