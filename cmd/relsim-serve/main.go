@@ -60,6 +60,7 @@ func run(args []string) error {
 	defGate := sparse.DefaultThresholds()
 	minDim := fs.Int("parallel-min-dim", defGate.MinDim, "min matrix dimension for the parallel SpGEMM kernel")
 	minNNZ := fs.Int("parallel-min-nnz", defGate.MinNNZ, "min combined nnz for the parallel SpGEMM kernel")
+	workloadPlan := fs.Bool("workload-plan", true, "workload-aware /batch planning: canonicalize patterns, share sub-pattern matrices across the whole batch, materialize each distinct subexpression once")
 	fs.Parse(args)
 
 	g, sc, err := load(*dataset, *in, *schemaName)
@@ -72,11 +73,12 @@ func run(args []string) error {
 		server.WithCacheLimit(*cacheLimit),
 		server.WithTimeout(*timeout),
 		server.WithParallelThresholds(sparse.Thresholds{MinDim: *minDim, MinNNZ: *minNNZ}),
+		server.WithWorkloadPlanning(*workloadPlan),
 	)
 
 	stats := st.Stats()
-	log.Printf("serving %d nodes, %d edges, labels %v on %s (MVCC snapshot isolation, timeout %v)",
-		stats.Nodes, stats.Edges, stats.Labels, *addr, *timeout)
+	log.Printf("serving %d nodes, %d edges, labels %v on %s (MVCC snapshot isolation, timeout %v, workload planning %v)",
+		stats.Nodes, stats.Edges, stats.Labels, *addr, *timeout, *workloadPlan)
 
 	hs := &http.Server{Addr: *addr, Handler: srv}
 	errc := make(chan error, 1)

@@ -54,7 +54,9 @@ type Evaluator struct {
 
 	mu         sync.Mutex
 	noPlanning bool
+	canonical  bool
 	gate       sparse.Thresholds
+	mulHook    func(a, b *sparse.Matrix)
 }
 
 // New returns an evaluator over g at version 0 with a private cache.
@@ -84,7 +86,9 @@ func (e *Evaluator) WithContext(ctx context.Context) *Evaluator {
 		cache:      e.cache,
 		ctx:        ctx,
 		noPlanning: e.noPlanning,
+		canonical:  e.canonical,
 		gate:       e.gate,
+		mulHook:    e.mulHook,
 	}
 }
 
@@ -144,13 +148,41 @@ func (e *Evaluator) checkCanceled() {
 	}
 }
 
+// SetCanonicalKeys makes the evaluator canonicalize patterns
+// (rre.CanonicalExact) before evaluation, so cache entries are keyed by
+// the canonical rendering and semantically interchangeable patterns
+// (alt permutations, redundant grouping) share one materialization.
+// Patterns whose canonicalization is not count-exact are evaluated
+// under their raw key, exactly as without this mode. The workload
+// planner requires canonical keys: DAG nodes are canonical, and query
+// evaluation must hit the matrices the plan materialized.
+func (e *Evaluator) SetCanonicalKeys(on bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.canonical = on
+}
+
+// SetMulHook installs fn to observe every matrix product the evaluator
+// performs (concatenation chains and Kleene-star closure squarings).
+// Used by the serving layer to count materialized products and by tests
+// to assert the single-materialization guarantee. fn must be safe for
+// concurrent use; nil removes the hook.
+func (e *Evaluator) SetMulHook(fn func(a, b *sparse.Matrix)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.mulHook = fn
+}
+
 // mul multiplies two matrices under the evaluator's parallel gate,
 // checking cancellation first.
 func (e *Evaluator) mul(a, b *sparse.Matrix) *sparse.Matrix {
 	e.checkCanceled()
 	e.mu.Lock()
-	gate := e.gate
+	gate, hook := e.gate, e.mulHook
 	e.mu.Unlock()
+	if hook != nil {
+		hook(a, b)
+	}
 	return a.MulThresh(b, gate)
 }
 
@@ -178,9 +210,30 @@ func (e *Evaluator) Materialize(ps ...*rre.Pattern) {
 }
 
 // Commuting returns the commuting matrix M_p. Results are cached per
-// (version, canonical pattern string), including all sub-pattern
-// matrices.
+// (version, pattern string), including all sub-pattern matrices. Under
+// SetCanonicalKeys the pattern is canonicalized first, so the key is
+// the canonical rendering and every subexpression of a canonical
+// pattern is cached under its own canonical key.
 func (e *Evaluator) Commuting(p *rre.Pattern) *sparse.Matrix {
+	e.mu.Lock()
+	canonical := e.canonical
+	e.mu.Unlock()
+	if canonical {
+		// Canonical forms are closed under Subs(), so the recursion below
+		// only ever sees canonical patterns and canonicalizes once here.
+		// Inexact canonicalizations (disjunction branches collapsing, which
+		// would change counts) keep the raw pattern and its raw key — the
+		// exact behavior of a non-canonical evaluator.
+		if c, exact := rre.CanonicalExact(p); exact {
+			p = c
+		}
+	}
+	return e.commuting(p)
+}
+
+// commuting is the cache-backed recursion; p must already be canonical
+// when the evaluator runs in canonical-key mode.
+func (e *Evaluator) commuting(p *rre.Pattern) *sparse.Matrix {
 	key := Key{Version: e.version, Pattern: p.String()}
 	m, gen, ok := e.cache.lookup(key)
 	if ok {
@@ -205,11 +258,11 @@ func (e *Evaluator) compute(p *rre.Pattern) *sparse.Matrix {
 	case rre.KindLabel:
 		return e.g.Adjacency(p.LabelName())
 	case rre.KindRev:
-		return e.Commuting(p.Subs()[0]).Transpose()
+		return e.commuting(p.Subs()[0]).Transpose()
 	case rre.KindConcat:
 		factors := make([]*sparse.Matrix, len(p.Subs()))
 		for i, s := range p.Subs() {
-			factors[i] = e.Commuting(s)
+			factors[i] = e.commuting(s)
 		}
 		e.mu.Lock()
 		planned := !e.noPlanning
@@ -223,17 +276,17 @@ func (e *Evaluator) compute(p *rre.Pattern) *sparse.Matrix {
 		}
 		return e.mulChain(factors)
 	case rre.KindAlt:
-		m := e.Commuting(p.Subs()[0])
+		m := e.commuting(p.Subs()[0])
 		for _, s := range p.Subs()[1:] {
-			m = m.Add(e.Commuting(s))
+			m = m.Add(e.commuting(s))
 		}
 		return m
 	case rre.KindStar:
-		return e.booleanClosure(e.Commuting(p.Subs()[0]))
+		return e.booleanClosure(e.commuting(p.Subs()[0]))
 	case rre.KindSkip:
-		return e.Commuting(p.Subs()[0]).Boolean()
+		return e.commuting(p.Subs()[0]).Boolean()
 	case rre.KindNest:
-		return e.Commuting(p.Subs()[0]).DiagMulBool()
+		return e.commuting(p.Subs()[0]).DiagMulBool()
 	}
 	panic("eval: invalid pattern kind")
 }

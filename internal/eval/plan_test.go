@@ -32,6 +32,15 @@ func TestChainPlanningPreservesResults(t *testing.T) {
 	}
 }
 
+// mulCostEstimate is occupancy+occDot composed the way mulChain pairs
+// them — kept here because mulChain itself hoists the occupancy
+// vectors rather than recomputing them per candidate pair.
+func mulCostEstimate(a, b *sparse.Matrix) int64 {
+	colA, _ := occupancy(a)
+	_, rowB := occupancy(b)
+	return occDot(colA, rowB)
+}
+
 func TestMulCostEstimateExactForFirstProduct(t *testing.T) {
 	// The estimate Σ col_a(k)·row_b(k) counts exactly the scalar
 	// multiplications of a·b; verify against a dense count.
@@ -72,6 +81,35 @@ func TestMulChainPanicsOnEmpty(t *testing.T) {
 		}
 	}()
 	New(graph.New()).mulChain(nil)
+}
+
+// BenchmarkChainPlanOverhead guards the chain planner's bookkeeping
+// cost: occupancy vectors are hoisted (computed once per factor plus
+// once per merged product), so the greedy pair selection must stay
+// cheap relative to the products themselves even on long chains of
+// large factors. Regressions that reintroduce per-candidate O(n)
+// allocations show up directly in ns/op and allocs/op here.
+func BenchmarkChainPlanOverhead(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	const (
+		n       = 2000
+		factors = 10
+		nnz     = 4000
+	)
+	ms := make([]*sparse.Matrix, factors)
+	for i := range ms {
+		ts := make([]sparse.Triple, nnz)
+		for j := range ts {
+			ts[j] = sparse.Triple{Row: rng.Intn(n), Col: rng.Intn(n), Val: 1}
+		}
+		ms[i] = sparse.New(n, ts)
+	}
+	ev := New(graph.New())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.mulChain(ms)
+	}
 }
 
 // TestChainPlanningSkewedPattern sanity-checks that the planner picks

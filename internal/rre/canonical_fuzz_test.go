@@ -1,0 +1,64 @@
+package rre
+
+import "testing"
+
+// FuzzCanonical drives Parse → Canonical over arbitrary inputs and
+// checks the algebraic contract of the canonical form:
+//
+//   - idempotence: Canonical(Canonical(p)) ≡ Canonical(p)
+//   - render/parse round-trip: Parse(Canonical(p).String()) rebuilds
+//     the identical AST (the canonical rendering is a fixpoint of the
+//     concrete syntax)
+//   - key stability: CanonicalKey survives a render/parse round trip
+//
+// The semantic half of the contract — equal canonical keys imply equal
+// commuting matrices — is FuzzCanonicalEquivalence in internal/eval,
+// which can evaluate patterns over a graph.
+func FuzzCanonical(f *testing.F) {
+	for _, seed := range []string{
+		"a",
+		"()",
+		"a.b.c",
+		"b+a",
+		"c + b + a",
+		"(a+b)+c",
+		"a+a",
+		"(b+a).d",
+		"(a.b + c).d*",
+		"[a.b-]",
+		"<a.b>",
+		"(a.b)-",
+		"a--",
+		"a**",
+		"p-in-.p-in",
+		"((b+a) + (a+b)).c",
+		"<b+a>*",
+		"[c.(b+a)]",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		if len(in) > 64 {
+			t.Skip("oversized input")
+		}
+		p, err := Parse(in)
+		if err != nil {
+			t.Skip("not a pattern")
+		}
+		c := Canonical(p)
+		if c2 := Canonical(c); !c.Equal(c2) {
+			t.Fatalf("not idempotent: Canonical(%q) = %q, re-canonicalized %q", in, c, c2)
+		}
+		rendered := c.String()
+		rp, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("canonical rendering %q of %q does not parse: %v", rendered, in, err)
+		}
+		if !rp.Equal(c) {
+			t.Fatalf("round trip broke %q: canonical %q reparsed as %q", in, rendered, rp)
+		}
+		if key := CanonicalKey(rp); key != rendered {
+			t.Fatalf("canonical key unstable for %q: %q vs %q", in, rendered, key)
+		}
+	})
+}

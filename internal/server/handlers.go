@@ -209,6 +209,15 @@ type BatchResponse struct {
 // graph version even while writers publish new versions concurrently —
 // the old RWMutex design got consistency by blocking those writers; the
 // pinned snapshot gets it for free.
+//
+// With workload planning (the default) the pattern set is first
+// canonicalized and folded into a shared sub-pattern DAG
+// (eval.PlanWorkload); the worker pool materializes every distinct
+// subexpression exactly once in dependency order before any query is
+// scored. A deadline expiring mid-schedule answers 504 — no query had a
+// chance to run, unlike the per-query timeouts the scoring phase
+// reports. With planning off, the pre-PR-3 sequential materialization
+// pass runs instead (the differential-test baseline).
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.nBatch.Add(1)
 	var req BatchRequest
@@ -226,6 +235,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if workers <= 0 {
 		workers = s.workers
 	}
+	// The scoring pool is capped by the query count, but the plan
+	// schedule is not: one query can expand into dozens of independent
+	// sub-patterns, and Execute self-caps to the DAG width.
+	planWorkers := workers
 	if workers > len(req.Queries) && len(req.Queries) > 0 {
 		workers = len(req.Queries)
 	}
@@ -235,12 +248,37 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	ev := s.evaluator(pin.Snapshot(), pin.Version()).WithContext(ctx)
 
 	resp := BatchResponse{Version: pin.Version(), Results: make([]BatchResult, len(req.Queries))}
-	// Amortized materialization; on timeout the workers fail the
-	// individual queries below.
-	eval.Guard(func() error {
-		ev.Materialize(s.batchPatterns(req.Queries)...)
-		return nil
-	})
+	pats := s.batchPatterns(req.Queries)
+	if s.plan {
+		plan := eval.PlanWorkload(pats)
+		if err := plan.Execute(ev, planWorkers); err != nil {
+			// Canceled mid-schedule: the pinned snapshot is released by the
+			// deferred Release above, already-materialized nodes stay cached
+			// for a retry, and no query has produced a result yet.
+			var c *eval.Canceled
+			if errors.As(err, &c) && errors.Is(c.Err, context.DeadlineExceeded) {
+				s.nTimeouts.Add(1)
+				s.writeError(w, http.StatusGatewayTimeout, err)
+			} else {
+				s.writeError(w, http.StatusServiceUnavailable, err)
+			}
+			return
+		}
+		// Count only completed plans: an aborted schedule saved nothing,
+		// and its retry would otherwise double-book the same dedup.
+		st := plan.Stats()
+		s.nPlanned.Add(1)
+		s.nDeduped.Add(uint64(st.Deduped))
+		s.nProductsSaved.Add(uint64(st.ProductsSaved))
+		s.nUnplannable.Add(uint64(st.Unplannable))
+	} else {
+		// Amortized sequential materialization; on timeout the workers
+		// fail the individual queries below.
+		eval.Guard(func() error {
+			ev.Materialize(pats...)
+			return nil
+		})
+	}
 
 	jobs := make(chan int)
 	var wg sync.WaitGroup

@@ -158,8 +158,10 @@ func TestRequestTimeout(t *testing.T) {
 	}
 }
 
-// TestBatchTimeout: every query of a timed-out batch reports the
-// cancellation instead of hanging or burning CPU.
+// TestBatchTimeout: a timed-out batch either aborts mid-plan (504,
+// nothing scored) or reports the cancellation per query (200 with
+// per-query errors from the scoring phase) — it never hangs or burns
+// CPU past the deadline.
 func TestBatchTimeout(t *testing.T) {
 	srv := New(store.New(testGraph()), nil)
 	ts := newHTTPServer(t, srv)
@@ -168,22 +170,20 @@ func TestBatchTimeout(t *testing.T) {
 		{Pattern: "cites", Query: "p1", Alg: "relsim"},
 	}}
 	var resp BatchResponse
-	if code := post(t, ts, "/batch?timeout_ms=1", req, &resp); code != http.StatusOK {
-		t.Fatalf("status = %d", code)
-	}
-	// 1ms on a cold cache: with the deadline long expired by decode
-	// time, both queries must fail with the cancellation error (the
-	// batch still answers 200 with per-query errors).
-	waitExpired := func() bool {
+	code := post(t, ts, "/batch?timeout_ms=1", req, &resp)
+	switch code {
+	case http.StatusGatewayTimeout:
+		// Deadline fired during the planning phase.
+	case http.StatusOK:
+		// Deadline fired (if at all) during scoring; with 1ms long
+		// expired by decode time every query must carry the error.
 		for _, r := range resp.Results {
 			if r.Error == "" {
-				return false
+				t.Skip("batch finished before the deadline fired; timing-dependent")
 			}
 		}
-		return true
-	}
-	if !waitExpired() {
-		t.Skip("batch finished before the deadline fired; timing-dependent")
+	default:
+		t.Fatalf("status = %d", code)
 	}
 	if got := srv.Stats().Requests["timeouts"]; got == 0 {
 		t.Error("timeout counter not bumped")

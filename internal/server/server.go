@@ -60,6 +60,7 @@ type Server struct {
 	workers int
 	timeout time.Duration // default per-request deadline; 0 = none
 	gate    sparse.Thresholds
+	plan    bool // workload-aware /batch planning + canonical cache keys
 	mux     *http.ServeMux
 	start   time.Time
 
@@ -71,6 +72,15 @@ type Server struct {
 	expand   map[string][]*rre.Pattern
 
 	nSearch, nBatch, nExplain, nMutate, nErrors, nTimeouts atomic.Uint64
+
+	// Workload-planning counters: batches planned, subexpression
+	// materializations avoided by DAG sharing, products those
+	// materializations would have cost (both static per-plan estimates
+	// versus per-query isolation), patterns excluded from planning
+	// because canonicalization is not count-exact, and products actually
+	// performed by every evaluator bound to this server (the mul-hook
+	// count).
+	nPlanned, nDeduped, nProductsSaved, nUnplannable, nProducts atomic.Uint64
 }
 
 // Option configures a Server.
@@ -105,6 +115,18 @@ func WithParallelThresholds(t sparse.Thresholds) Option {
 	return func(s *Server) { s.gate = t }
 }
 
+// WithWorkloadPlanning toggles workload-aware /batch planning (default
+// on): the distinct pattern set of a batch is canonicalized, folded
+// into a shared sub-pattern DAG and materialized exactly once per
+// distinct subexpression across the worker pool, with cache entries
+// keyed by the canonical rendering so semantically interchangeable
+// patterns share matrices. Off restores the sequential per-pattern
+// materialization pass with raw string keys — the ablation/differential
+// baseline.
+func WithWorkloadPlanning(on bool) Option {
+	return func(s *Server) { s.plan = on }
+}
+
 // WithGenOptions overrides the Algorithm-1 expansion options used by the
 // structurally robust search pipeline.
 func WithGenOptions(opt pattern.Options) Option {
@@ -129,6 +151,7 @@ func New(st *store.Store, sc *schema.Schema, opts ...Option) *Server {
 		genOpt:  pattern.Default(),
 		workers: DefaultWorkers,
 		gate:    sparse.DefaultThresholds(),
+		plan:    true,
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
 		expand:  make(map[string][]*rre.Pattern),
@@ -159,9 +182,15 @@ func (s *Server) Cache() *eval.Cache { return s.cache }
 func (s *Server) Store() *store.Store { return s.st }
 
 // evaluator binds a snapshot-scoped evaluator over the shared cache.
+// Under workload planning every evaluator keys the cache canonically,
+// so /search and /explain hit the matrices /batch plans materialize
+// (and vice versa), and all evaluators feed the server's product
+// counter through the mul hook.
 func (s *Server) evaluator(snap *graph.Snapshot, version uint64) *eval.Evaluator {
 	ev := eval.NewVersioned(snap, version, s.cache)
 	ev.SetParallelThresholds(s.gate)
+	ev.SetCanonicalKeys(s.plan)
+	ev.SetMulHook(func(_, _ *sparse.Matrix) { s.nProducts.Add(1) })
 	return ev
 }
 
@@ -243,6 +272,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, HealthzResponse{Status: "ok", Version: s.st.Version()})
 }
 
+// WorkloadStats is the /stats view of /batch workload planning:
+// batches planned, subexpression materializations deduplicated by the
+// shared DAG, the matrix products those duplicates would have cost, and
+// the products actually performed server-wide.
+type WorkloadStats struct {
+	Enabled              bool   `json:"enabled"`
+	PlannedBatches       uint64 `json:"planned_batches"`
+	SubpatternsDeduped   uint64 `json:"subpatterns_deduped"`
+	ProductsSaved        uint64 `json:"products_saved"`
+	UnplannablePatterns  uint64 `json:"unplannable_patterns"`
+	ProductsMaterialized uint64 `json:"products_materialized"`
+}
+
 // StatsResponse is the GET /stats body.
 type StatsResponse struct {
 	Store store.Stats     `json:"store"`
@@ -251,6 +293,7 @@ type StatsResponse struct {
 	// CacheVersions maps graph version → cached matrix count: how much
 	// of the cache serves the live version vs. still-pinned history.
 	CacheVersions map[uint64]int    `json:"cache_versions"`
+	Workload      WorkloadStats     `json:"workload"`
 	Requests      map[string]uint64 `json:"requests"`
 	UptimeSeconds float64           `json:"uptime_seconds"`
 }
@@ -263,6 +306,14 @@ func (s *Server) Stats() StatsResponse {
 		Pins:          s.st.PinStats(),
 		Cache:         s.cache.Stats(),
 		CacheVersions: s.cache.VersionOccupancy(),
+		Workload: WorkloadStats{
+			Enabled:              s.plan,
+			PlannedBatches:       s.nPlanned.Load(),
+			SubpatternsDeduped:   s.nDeduped.Load(),
+			ProductsSaved:        s.nProductsSaved.Load(),
+			UnplannablePatterns:  s.nUnplannable.Load(),
+			ProductsMaterialized: s.nProducts.Load(),
+		},
 		Requests: map[string]uint64{
 			"search":    s.nSearch.Load(),
 			"batch":     s.nBatch.Load(),

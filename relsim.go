@@ -126,6 +126,22 @@ func WithServerParallelThresholds(t ParallelThresholds) ServerOption {
 	return server.WithParallelThresholds(t)
 }
 
+// WithServerWorkloadPlanning toggles workload-aware /batch planning
+// (default on): canonicalize the batch's patterns, fold them into a
+// shared sub-pattern DAG and materialize every distinct subexpression
+// exactly once across the worker pool.
+func WithServerWorkloadPlanning(on bool) ServerOption {
+	return server.WithWorkloadPlanning(on)
+}
+
+// CanonicalPattern returns the canonical form of p: associativity
+// flattened, reversal pushed onto labels, disjunction branches sorted
+// and deduplicated. Exactly-canonicalizable patterns (see
+// rre.CanonicalExact; everything except disjunction branches that
+// become equal only under canonicalization) with equal canonical
+// renderings have identical commuting matrices over every graph.
+func CanonicalPattern(p *Pattern) *Pattern { return rre.Canonical(p) }
+
 // NewSchema builds a schema from labels and constraints.
 func NewSchema(labels []string, constraints ...Constraint) *Schema {
 	return schema.New(labels, constraints...)
