@@ -9,14 +9,23 @@
 //
 //	relsim-serve -dataset dblp-small [-addr :8080] [-timeout 30s]
 //	relsim-serve -in g.jsonl -schema dblp [-workers 8] [-cache-limit 512]
+//	relsim-serve -dataset dblp-small -data-dir /var/lib/relsim [-fsync always]
+//
+// With -data-dir the store is durable: every committed mutation batch
+// is appended to a write-ahead log before publication, the graph is
+// checkpointed every -checkpoint-every versions, and on boot the
+// service recovers checkpoint + WAL tail — resuming the version counter
+// exactly — before it starts listening. The -dataset/-in graph seeds a
+// fresh directory only; recovered state always wins.
 //
 // Endpoints: POST /search, POST /batch, POST /explain,
-// POST /graph/edges, GET /healthz, GET /stats. See internal/server for
-// the request and response shapes, and the top-level README for curl
-// examples.
+// POST /graph/edges, GET /healthz, GET /stats, GET /log (the
+// replication catch-up feed). See internal/server for the request and
+// response shapes, and the top-level README for curl examples.
 //
-// On SIGINT/SIGTERM the server drains in-flight requests for -drain and
-// flushes a final /stats snapshot to the log before exiting.
+// On SIGINT/SIGTERM the server drains in-flight requests for -drain,
+// flushes a final /stats snapshot to the log, and closes the store
+// (final WAL fsync) before exiting.
 package main
 
 import (
@@ -38,6 +47,7 @@ import (
 	"relsim/internal/server"
 	"relsim/internal/sparse"
 	"relsim/internal/store"
+	"relsim/internal/wal"
 )
 
 func main() {
@@ -61,13 +71,41 @@ func run(args []string) error {
 	minDim := fs.Int("parallel-min-dim", defGate.MinDim, "min matrix dimension for the parallel SpGEMM kernel")
 	minNNZ := fs.Int("parallel-min-nnz", defGate.MinNNZ, "min combined nnz for the parallel SpGEMM kernel")
 	workloadPlan := fs.Bool("workload-plan", true, "workload-aware /batch planning: canonicalize patterns, share sub-pattern matrices across the whole batch, materialize each distinct subexpression once")
+	dataDir := fs.String("data-dir", "", "durable data directory (write-ahead log + checkpoints); empty serves in-memory only")
+	fsync := fs.String("fsync", "always", "WAL fsync policy: always (no committed batch is ever lost), interval, never")
+	fsyncInterval := fs.Duration("fsync-interval", wal.DefaultSyncInterval, "fsync cadence for -fsync interval")
+	checkpointEvery := fs.Uint64("checkpoint-every", store.DefaultCheckpointEvery, "versions between graph checkpoints (0 = only the boot checkpoint)")
 	fs.Parse(args)
 
 	g, sc, err := load(*dataset, *in, *schemaName)
 	if err != nil {
 		return err
 	}
-	st := store.New(g)
+	var st *store.Store
+	if *dataDir != "" {
+		policy, err := wal.ParseSyncPolicy(*fsync)
+		if err != nil {
+			return err
+		}
+		// Recovery happens here, before the listener exists: no request
+		// can observe a half-replayed store.
+		st, err = store.Open(*dataDir,
+			store.WithSeed(g),
+			store.WithSync(policy),
+			store.WithSyncInterval(*fsyncInterval),
+			store.WithCheckpointEvery(*checkpointEvery),
+		)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		ds := st.DurabilityStats()
+		log.Printf("durable store %s: recovered version %d (checkpoint %d + %d replayed records, %d torn records truncated), fsync %s, checkpoint every %d",
+			*dataDir, ds.Recovery.RecoveredVersion, ds.Recovery.CheckpointVersion,
+			ds.Recovery.ReplayedRecords, ds.WAL.TornTruncated, ds.SyncPolicy, ds.CheckpointEvery)
+	} else {
+		st = store.New(g)
+	}
 	srv := server.New(st, sc,
 		server.WithWorkers(*workers),
 		server.WithCacheLimit(*cacheLimit),
@@ -77,8 +115,8 @@ func run(args []string) error {
 	)
 
 	stats := st.Stats()
-	log.Printf("serving %d nodes, %d edges, labels %v on %s (MVCC snapshot isolation, timeout %v, workload planning %v)",
-		stats.Nodes, stats.Edges, stats.Labels, *addr, *timeout, *workloadPlan)
+	log.Printf("serving %d nodes, %d edges, labels %v on %s (MVCC snapshot isolation, timeout %v, workload planning %v, durable %v)",
+		stats.Nodes, stats.Edges, stats.Labels, *addr, *timeout, *workloadPlan, st.Durable())
 
 	hs := &http.Server{Addr: *addr, Handler: srv}
 	errc := make(chan error, 1)

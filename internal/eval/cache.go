@@ -227,6 +227,10 @@ func (c *Cache) Advance(from, to uint64, touchedLabels []string, nodesChanged, k
 		}
 	}
 	c.invalidations += uint64(evicted)
+	// Carrying with keepFrom copies entries, so a bounded cache can
+	// exceed its limit here; enforce it like every other insertion path
+	// does instead of waiting for the next insert.
+	c.evictLocked()
 	return carried, evicted
 }
 

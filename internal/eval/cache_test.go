@@ -130,3 +130,44 @@ func TestSetCacheLimitShrinks(t *testing.T) {
 		t.Errorf("CacheSize after SetCacheLimit(1) = %d, want 1", got)
 	}
 }
+
+// TestAdvanceRespectsLimit is the regression test for the bounded-cache
+// leak: Advance carries (and with a pinned reader, *copies*) entries to
+// the new version, which used to bypass evictLocked — a bounded cache
+// silently exceeded SetLimit after every committed write until the next
+// insert. Committing writes against a full bounded cache must keep the
+// bound.
+func TestAdvanceRespectsLimit(t *testing.T) {
+	g := cacheTestGraph()
+	c := NewCache()
+	c.SetLimit(3)
+	ev := NewVersioned(g.Snapshot(), 0, c)
+	ev.Materialize(rre.MustParse("a"), rre.MustParse("b"), rre.MustParse("c"))
+	if got := c.Size(); got != 3 {
+		t.Fatalf("primed cache size = %d, want 3 (at the limit)", got)
+	}
+
+	// A committed write touching none of the cached labels, with a
+	// reader still pinned at version 0: every entry is copied forward.
+	c.Advance(0, 1, []string{"unrelated"}, false, true)
+	if got := c.Size(); got > 3 {
+		t.Fatalf("cache size after Advance = %d, exceeds limit 3", got)
+	}
+
+	// Repeated writes (the mutation-storm shape) never accumulate.
+	for v := uint64(1); v < 10; v++ {
+		c.Advance(v, v+1, []string{"unrelated"}, false, true)
+		if got := c.Size(); got > 3 {
+			t.Fatalf("cache size after write %d = %d, exceeds limit 3", v, got)
+		}
+	}
+
+	// Unbounded caches are untouched by the enforcement.
+	c2 := NewCache()
+	ev2 := NewVersioned(g.Snapshot(), 0, c2)
+	ev2.Materialize(rre.MustParse("a"), rre.MustParse("b"))
+	carried, _ := c2.Advance(0, 1, nil, false, true)
+	if carried != 2 || c2.Size() != 4 {
+		t.Fatalf("unbounded Advance carried %d, size %d; want 2, 4", carried, c2.Size())
+	}
+}

@@ -31,7 +31,20 @@ type record struct {
 }
 
 // Write serializes g to w in the line-oriented JSON format.
-func Write(w io.Writer, g *Graph) error {
+func Write(w io.Writer, g *Graph) error { return WriteView(w, g) }
+
+// edgeView is the surface serialization needs; satisfied by both the
+// mutable *Graph and the immutable *Snapshot, so checkpoints can be
+// written straight from a served version without materializing a copy.
+type edgeView interface {
+	NumNodes() int
+	Node(id NodeID) Node
+	EachEdge(fn func(e Edge))
+}
+
+// WriteView serializes any graph view (mutable *Graph or immutable
+// *Snapshot) to w in the line-oriented JSON format.
+func WriteView(w io.Writer, g edgeView) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	for i := 0; i < g.NumNodes(); i++ {

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -161,23 +162,31 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 
 	resp, err := s.guardedSearch(ev, &req)
 	if err != nil {
-		var c *eval.Canceled
-		if errors.As(err, &c) {
-			if errors.Is(c.Err, context.DeadlineExceeded) {
-				// Deadline: the query timed out server-side.
-				s.nTimeouts.Add(1)
-				s.writeError(w, http.StatusGatewayTimeout, err)
-			} else {
-				// Plain cancellation — typically the client went away;
-				// not a timeout, and the response is likely undeliverable.
-				s.writeError(w, http.StatusServiceUnavailable, err)
-			}
-			return
+		if !s.writeIfCanceled(w, err) {
+			s.writeError(w, http.StatusBadRequest, err)
 		}
-		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// writeIfCanceled writes the HTTP mapping of an evaluation
+// cancellation — 504 for a server-side deadline (counted as a timeout),
+// 503 for a plain cancellation (typically the client went away) — and
+// reports whether err was one. Every guarded evaluation surface
+// (/search, /batch, /explain) shares this mapping.
+func (s *Server) writeIfCanceled(w http.ResponseWriter, err error) bool {
+	var c *eval.Canceled
+	if !errors.As(err, &c) {
+		return false
+	}
+	if errors.Is(c.Err, context.DeadlineExceeded) {
+		s.nTimeouts.Add(1)
+		s.writeError(w, http.StatusGatewayTimeout, err)
+	} else {
+		s.writeError(w, http.StatusServiceUnavailable, err)
+	}
+	return true
 }
 
 // BatchRequest is the POST /batch body. Workers overrides the server's
@@ -255,11 +264,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			// Canceled mid-schedule: the pinned snapshot is released by the
 			// deferred Release above, already-materialized nodes stay cached
 			// for a retry, and no query has produced a result yet.
-			var c *eval.Canceled
-			if errors.As(err, &c) && errors.Is(c.Err, context.DeadlineExceeded) {
-				s.nTimeouts.Add(1)
-				s.writeError(w, http.StatusGatewayTimeout, err)
-			} else {
+			if !s.writeIfCanceled(w, err) {
 				s.writeError(w, http.StatusServiceUnavailable, err)
 			}
 			return
@@ -272,12 +277,20 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.nProductsSaved.Add(uint64(st.ProductsSaved))
 		s.nUnplannable.Add(uint64(st.Unplannable))
 	} else {
-		// Amortized sequential materialization; on timeout the workers
-		// fail the individual queries below.
-		eval.Guard(func() error {
+		// Amortized sequential materialization. A deadline expiring here
+		// used to be swallowed (the Guard error was discarded) and
+		// resurfaced only as confusing per-query errors; it answers 504
+		// like the plan path — no query had a chance to run.
+		err := eval.Guard(func() error {
 			ev.Materialize(pats...)
 			return nil
 		})
+		if err != nil {
+			if !s.writeIfCanceled(w, err) {
+				s.writeError(w, http.StatusServiceUnavailable, err)
+			}
+			return
+		}
 	}
 
 	jobs := make(chan int)
@@ -349,21 +362,41 @@ func (s *Server) queryPatterns(req *SearchRequest) (ps []*rre.Pattern, expanded 
 
 // expandPattern runs Algorithm 1 through the server's memo, so repeated
 // queries on the same pattern (one /batch worker after another, or
-// request after request) expand once.
+// request after request) expand once. The memo is LRU-bounded
+// (WithExpandCacheLimit): keys are client-supplied pattern strings, and
+// without the bound a stream of distinct patterns grows it forever.
 func (s *Server) expandPattern(p *rre.Pattern) ([]*rre.Pattern, error) {
 	key := p.String()
 	s.expandMu.Lock()
-	ps, ok := s.expand[key]
-	s.expandMu.Unlock()
-	if ok {
+	if ent, ok := s.expand[key]; ok {
+		s.expandTick++
+		ent.used = s.expandTick
+		s.expandHits++
+		ps := ent.ps
+		s.expandMu.Unlock()
 		return ps, nil
 	}
+	s.expandMisses++
+	s.expandMu.Unlock()
 	ps, err := pattern.Generate(s.schema, p, s.genOpt)
 	if err != nil {
 		return nil, err
 	}
 	s.expandMu.Lock()
-	s.expand[key] = ps
+	s.expandTick++
+	s.expand[key] = &expandEntry{ps: ps, used: s.expandTick}
+	if s.expandLimit > 0 {
+		for len(s.expand) > s.expandLimit {
+			victim, oldest, first := "", uint64(0), true
+			for k, ent := range s.expand {
+				if first || ent.used < oldest {
+					victim, oldest, first = k, ent.used, false
+				}
+			}
+			delete(s.expand, victim)
+			s.expandEvictions++
+		}
+	}
 	s.expandMu.Unlock()
 	return ps, nil
 }
@@ -429,11 +462,20 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if limit <= 0 {
 		limit = defaultExplainLimit
 	}
+	// Explanations evaluate the pattern's commuting matrix just like
+	// /search does, so they honor the same deadline: -timeout by
+	// default, ?timeout_ms= per request, 504 when it expires.
+	ctx, cancel, err := s.requestContext(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
 
 	pin := s.st.Pin()
 	defer pin.Release()
 	snap := pin.Snapshot()
-	ev := s.evaluator(snap, pin.Version())
+	ev := s.evaluator(snap, pin.Version()).WithContext(ctx)
 
 	u, ok := resolveNode(snap, req.From)
 	if !ok {
@@ -445,21 +487,63 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, fmt.Errorf("to node %q not found", req.To))
 		return
 	}
-	m := ev.Commuting(p)
-	ins := ev.Instances(p, u, v, limit)
-	rendered := make([]string, len(ins))
-	for i, in := range ins {
-		rendered[i] = in.Render(snap)
-	}
-	s.writeJSON(w, http.StatusOK, ExplainResponse{
-		Pattern:   req.Pattern,
-		FromID:    u,
-		ToID:      v,
-		Count:     m.At(int(u), int(v)),
-		Score:     eval.PathSimScore(m, u, v),
-		Version:   pin.Version(),
-		Instances: rendered,
+	var resp ExplainResponse
+	err = eval.Guard(func() error {
+		m := ev.Commuting(p)
+		ins := ev.Instances(p, u, v, limit)
+		rendered := make([]string, len(ins))
+		for i, in := range ins {
+			rendered[i] = in.Render(snap)
+		}
+		resp = ExplainResponse{
+			Pattern:   req.Pattern,
+			FromID:    u,
+			ToID:      v,
+			Count:     m.At(int(u), int(v)),
+			Score:     eval.PathSimScore(m, u, v),
+			Version:   pin.Version(),
+			Instances: rendered,
+		}
+		return nil
 	})
+	if err != nil {
+		if !s.writeIfCanceled(w, err) {
+			s.writeError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleLog serves the replication catch-up feed: the committed update
+// records with version > ?since= (default 0), up to ?max= records per
+// page (default DefaultLogFeedPage, ceiling maxLogFeedPage). The
+// response signals a gap — records the bounded log has already
+// dropped — via the store.Feed contract; a follower seeing gap=true
+// must re-bootstrap instead of applying the page.
+func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
+	since := uint64(0)
+	if raw := r.URL.Query().Get("since"); raw != "" {
+		v, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("invalid since %q", raw))
+			return
+		}
+		since = v
+	}
+	max := DefaultLogFeedPage
+	if raw := r.URL.Query().Get("max"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v <= 0 {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("invalid max %q", raw))
+			return
+		}
+		if v > maxLogFeedPage {
+			v = maxLogFeedPage
+		}
+		max = v
+	}
+	s.writeJSON(w, http.StatusOK, s.st.LogFeed(since, max))
 }
 
 // NodeSpec is one node to add.
@@ -542,10 +626,16 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	if err != nil {
-		// Rolled back: no partial counts, no version bump.
+		// Rolled back: no partial counts, no version bump. A durability
+		// fault (WAL append/fsync failed) is the server's storage, not the
+		// request — 500, so retry logic and 4xx/5xx alerting see it right.
+		status := http.StatusBadRequest
+		if errors.Is(err, store.ErrDurability) {
+			status = http.StatusInternalServerError
+		}
 		resp = MutationResponse{Version: s.st.Version(), Error: err.Error()}
 		s.nErrors.Add(1)
-		s.writeJSON(w, http.StatusBadRequest, resp)
+		s.writeJSON(w, status, resp)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, resp)

@@ -50,6 +50,19 @@ import (
 // not choose one.
 const DefaultWorkers = 4
 
+// DefaultExpandCacheLimit bounds the Algorithm-1 expansion memo.
+// Expansions are keyed by request pattern string, so adversarial
+// traffic with ever-distinct patterns would otherwise grow the memo
+// without bound.
+const DefaultExpandCacheLimit = 1024
+
+// DefaultLogFeedPage bounds one GET /log page when the request does not
+// choose ?max=.
+const DefaultLogFeedPage = 512
+
+// maxLogFeedPage is the hard ceiling on ?max=.
+const maxLogFeedPage = 10000
+
 // Server is the HTTP handler. Construct with New; the zero value is not
 // usable.
 type Server struct {
@@ -61,15 +74,23 @@ type Server struct {
 	timeout time.Duration // default per-request deadline; 0 = none
 	gate    sparse.Thresholds
 	plan    bool // workload-aware /batch planning + canonical cache keys
+	logFeed bool // expose GET /log (the replication catch-up feed)
 	mux     *http.ServeMux
 	start   time.Time
 
 	// expand memoizes Algorithm-1 expansions by input pattern string.
 	// The schema and generation options are fixed for the server's
 	// lifetime, so entries never go stale — unlike commuting matrices,
-	// expansions do not depend on the graph's edges.
-	expandMu sync.Mutex
-	expand   map[string][]*rre.Pattern
+	// expansions do not depend on the graph's edges. The memo is
+	// LRU-bounded: pattern strings come straight off the wire, so an
+	// unbounded memo is a memory leak under adversarial traffic.
+	expandMu        sync.Mutex
+	expand          map[string]*expandEntry
+	expandLimit     int
+	expandTick      uint64
+	expandHits      uint64
+	expandMisses    uint64
+	expandEvictions uint64
 
 	nSearch, nBatch, nExplain, nMutate, nErrors, nTimeouts atomic.Uint64
 
@@ -133,6 +154,29 @@ func WithGenOptions(opt pattern.Options) Option {
 	return func(s *Server) { s.genOpt = opt }
 }
 
+// WithExpandCacheLimit bounds the Algorithm-1 expansion memo to n
+// entries with LRU eviction (default DefaultExpandCacheLimit). n <= 0
+// removes the bound — only safe when the pattern vocabulary is trusted.
+func WithExpandCacheLimit(n int) Option {
+	return func(s *Server) { s.expandLimit = n }
+}
+
+// WithDurability toggles the durability surface: the GET /log
+// replication feed and the durability section of /stats. Default on;
+// turn it off when the update feed must not be reachable through this
+// listener. The feed works for in-memory stores too (it serves the
+// bounded update log); with a durable store (store.Open) it is the
+// catch-up primitive for a follower.
+func WithDurability(on bool) Option {
+	return func(s *Server) { s.logFeed = on }
+}
+
+// expandEntry is one memoized Algorithm-1 expansion with its LRU tick.
+type expandEntry struct {
+	ps   []*rre.Pattern
+	used uint64
+}
+
 // New builds a server over st. sc may be nil; the schema then has no
 // constraints and simple patterns are scored without expansion (the
 // label set is taken from the graph at construction time). The server
@@ -145,16 +189,18 @@ func New(st *store.Store, sc *schema.Schema, opts ...Option) *Server {
 		sc = schema.New(snap.Labels())
 	}
 	s := &Server{
-		st:      st,
-		cache:   eval.NewCache(),
-		schema:  sc,
-		genOpt:  pattern.Default(),
-		workers: DefaultWorkers,
-		gate:    sparse.DefaultThresholds(),
-		plan:    true,
-		mux:     http.NewServeMux(),
-		start:   time.Now(),
-		expand:  make(map[string][]*rre.Pattern),
+		st:          st,
+		cache:       eval.NewCache(),
+		schema:      sc,
+		genOpt:      pattern.Default(),
+		workers:     DefaultWorkers,
+		gate:        sparse.DefaultThresholds(),
+		plan:        true,
+		logFeed:     true,
+		mux:         http.NewServeMux(),
+		start:       time.Now(),
+		expand:      make(map[string]*expandEntry),
+		expandLimit: DefaultExpandCacheLimit,
 	}
 	for _, o := range opts {
 		o(s)
@@ -166,6 +212,9 @@ func New(st *store.Store, sc *schema.Schema, opts ...Option) *Server {
 	s.mux.HandleFunc("POST /graph/edges", s.handleMutate)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	if s.logFeed {
+		s.mux.HandleFunc("GET /log", s.handleLog)
+	}
 	return s
 }
 
@@ -285,6 +334,16 @@ type WorkloadStats struct {
 	ProductsMaterialized uint64 `json:"products_materialized"`
 }
 
+// ExpandMemoStats is the /stats view of the bounded Algorithm-1
+// expansion memo.
+type ExpandMemoStats struct {
+	Size      int    `json:"size"`
+	Limit     int    `json:"limit"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
 // StatsResponse is the GET /stats body.
 type StatsResponse struct {
 	Store store.Stats     `json:"store"`
@@ -292,15 +351,32 @@ type StatsResponse struct {
 	Cache eval.CacheStats `json:"cache"`
 	// CacheVersions maps graph version → cached matrix count: how much
 	// of the cache serves the live version vs. still-pinned history.
-	CacheVersions map[uint64]int    `json:"cache_versions"`
-	Workload      WorkloadStats     `json:"workload"`
-	Requests      map[string]uint64 `json:"requests"`
-	UptimeSeconds float64           `json:"uptime_seconds"`
+	CacheVersions map[uint64]int        `json:"cache_versions"`
+	Workload      WorkloadStats         `json:"workload"`
+	Durability    store.DurabilityStats `json:"durability"`
+	ExpandMemo    ExpandMemoStats       `json:"expand_memo"`
+	Requests      map[string]uint64     `json:"requests"`
+	UptimeSeconds float64               `json:"uptime_seconds"`
 }
 
 // Stats assembles the /stats body (also used by the CLI's shutdown
 // flush).
 func (s *Server) Stats() StatsResponse {
+	s.expandMu.Lock()
+	memo := ExpandMemoStats{
+		Size:      len(s.expand),
+		Limit:     s.expandLimit,
+		Hits:      s.expandHits,
+		Misses:    s.expandMisses,
+		Evictions: s.expandEvictions,
+	}
+	s.expandMu.Unlock()
+	// The durability section (including the on-disk directory path) is
+	// part of the surface WithDurability(false) withholds.
+	var dur store.DurabilityStats
+	if s.logFeed {
+		dur = s.st.DurabilityStats()
+	}
 	return StatsResponse{
 		Store:         s.st.Stats(),
 		Pins:          s.st.PinStats(),
@@ -314,6 +390,8 @@ func (s *Server) Stats() StatsResponse {
 			UnplannablePatterns:  s.nUnplannable.Load(),
 			ProductsMaterialized: s.nProducts.Load(),
 		},
+		Durability: dur,
+		ExpandMemo: memo,
 		Requests: map[string]uint64{
 			"search":    s.nSearch.Load(),
 			"batch":     s.nBatch.Load(),

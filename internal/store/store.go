@@ -41,12 +41,17 @@ const (
 )
 
 // Update is one record of the update log: the mutation and the version
-// the store reached by applying it.
+// the store reached by applying it. Records are self-contained — an
+// add-node record carries the display name and type — so replaying a
+// log (crash recovery, a catching-up follower) reconstructs the graph
+// exactly, metadata included.
 type Update struct {
 	Version uint64       `json:"version"`
 	Op      Op           `json:"op"`
-	Node    graph.NodeID `json:"node"` // OpAddNode
-	Edge    graph.Edge   `json:"edge"` // edge ops
+	Node    graph.NodeID `json:"node"`           // OpAddNode
+	Name    string       `json:"name,omitempty"` // OpAddNode
+	Type    string       `json:"type,omitempty"` // OpAddNode
+	Edge    graph.Edge   `json:"edge"`           // edge ops
 }
 
 // DefaultLogCap bounds the retained update log. Older records are
@@ -73,7 +78,16 @@ type Store struct {
 	mu     sync.Mutex
 	log    []Update
 	logCap int
-	pins   map[uint64]int
+	// logDropped is the highest version ever dropped from the bounded
+	// log — the gap-detection watermark for the replication feed: a
+	// follower asking for records since < logDropped has missed some and
+	// must resynchronize from a checkpoint.
+	logDropped uint64
+	pins       map[uint64]int
+
+	// dur is the durability layer (write-ahead log + checkpoints); nil
+	// for a purely in-memory store built with New.
+	dur *durable
 }
 
 // New wraps g in a store at version 0. The snapshot is taken eagerly;
@@ -223,6 +237,67 @@ func (s *Store) Log(since uint64) []Update {
 	return out
 }
 
+// Feed is one page of the replication feed (GET /log): the committed
+// updates with version > Since, oldest first, bounded by the caller's
+// page size. Gap reports that records in (Since, DroppedThrough] have
+// aged out of the bounded log — the follower's view cannot be made
+// contiguous from this feed and it must resynchronize (re-bootstrap
+// from a snapshot or checkpoint) before resuming.
+type Feed struct {
+	Since uint64 `json:"since"`
+	// Version is the store's live version at feed time. A follower is
+	// caught up when the last delivered update reaches it.
+	Version uint64 `json:"version"`
+	Gap     bool   `json:"gap"`
+	// DroppedThrough is the highest version evicted from the bounded
+	// log; 0 when nothing has been dropped.
+	DroppedThrough uint64 `json:"dropped_through"`
+	// More reports that the page bound truncated the answer: call again
+	// with since = the last delivered version.
+	More    bool     `json:"more"`
+	Updates []Update `json:"updates"`
+}
+
+// LogFeed assembles one replication-feed page: up to max records with
+// version > since (max <= 0 means unbounded), plus the gap signal. The
+// page is cut at batch granularity only in the sense that updates are
+// versioned individually; a follower resumes from the last version it
+// received.
+func (s *Store) LogFeed(since uint64, max int) Feed {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Read the version inside the critical section commits publish
+	// under, so the reported version is never older than the page's last
+	// update (the follower's caught-up check relies on that ordering).
+	live := s.current.Load().version
+	f := Feed{Since: since, Version: live, DroppedThrough: s.logDropped, Gap: since < s.logDropped}
+	for _, u := range s.log {
+		if u.Version <= since {
+			continue
+		}
+		if max > 0 && len(f.Updates) >= max {
+			f.More = true
+			break
+		}
+		f.Updates = append(f.Updates, u)
+	}
+	return f
+}
+
+// SetLogRetention bounds the in-memory update log to n records,
+// trimming immediately. The version counter and the WAL are unaffected;
+// only the replication feed's reach shrinks. n <= 0 resets to
+// DefaultLogCap.
+func (s *Store) SetLogRetention(n int) {
+	if n <= 0 {
+		n = DefaultLogCap
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.logCap = n
+	s.trimLogLocked()
+}
+
 // Stats summarizes the store for monitoring.
 type Stats struct {
 	Version uint64   `json:"version"`
@@ -261,7 +336,7 @@ func (tx *Tx) Base() *graph.Snapshot { return tx.b.Base() }
 // AddNode adds a node and returns its id.
 func (tx *Tx) AddNode(name, typ string) graph.NodeID {
 	id := tx.b.AddNode(name, typ)
-	tx.record(Update{Op: OpAddNode, Node: id})
+	tx.record(Update{Op: OpAddNode, Node: id, Name: name, Type: typ})
 	return id
 }
 
@@ -295,11 +370,15 @@ func (tx *Tx) record(u Update) {
 }
 
 // Update runs fn as a write transaction. Mutations accumulate in a
-// copy-on-write builder; if fn returns nil the next snapshot is built
-// and published atomically, the update log grows by the batch, and the
-// OnUpdate observer runs. If fn returns an error NOTHING is published —
-// the batch rolls back wholesale and readers never see partial state.
-// Writers are serialized; readers are never blocked.
+// copy-on-write builder; if fn returns nil the batch is appended to the
+// write-ahead log (when the store is durable), then the next snapshot
+// is built and published atomically, the update log grows by the batch,
+// and the OnUpdate observer runs. If fn returns an error — or the WAL
+// append fails — NOTHING is published: the batch rolls back wholesale
+// and readers never see partial state. The append happens strictly
+// before publication, so a version a reader can observe is always
+// already on disk (as durable as the fsync policy promises). Writers
+// are serialized; readers are never blocked.
 func (s *Store) Update(fn func(tx *Tx) error) error {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
@@ -312,6 +391,15 @@ func (s *Store) Update(fn func(tx *Tx) error) error {
 		return nil
 	}
 	next := &versioned{snap: tx.b.Build(), version: cur.version + uint64(len(tx.updates))}
+	if s.dur != nil {
+		if err := s.dur.appendBatch(next.version, tx.updates); err != nil {
+			// Nothing published: the batch rolls back, and any torn bytes
+			// the failed append left behind are exactly what recovery cuts.
+			// ErrDurability lets callers distinguish this server-side fault
+			// (disk full, I/O error) from a validation error fn returned.
+			return fmt.Errorf("store: wal append (batch rolled back): %w: %w", ErrDurability, err)
+		}
+	}
 	// Publish under s.mu (alongside the log append) so Pin's
 	// load-and-register is atomic with respect to commits: after this
 	// critical section, any reader pinning the old version is already
@@ -321,14 +409,24 @@ func (s *Store) Update(fn func(tx *Tx) error) error {
 	s.mu.Lock()
 	s.current.Store(next)
 	s.log = append(s.log, tx.updates...)
-	if over := len(s.log) - s.logCap; over > 0 {
-		s.log = append(s.log[:0:0], s.log[over:]...)
-	}
+	s.trimLogLocked()
 	s.mu.Unlock()
 	if s.onUpdate != nil {
 		s.onUpdate(tx.updates)
 	}
+	if s.dur != nil {
+		s.maybeCheckpointLocked(next)
+	}
 	return nil
+}
+
+// trimLogLocked enforces the bounded-log retention and advances the
+// gap-detection watermark past every dropped record. s.mu held.
+func (s *Store) trimLogLocked() {
+	if over := len(s.log) - s.logCap; over > 0 {
+		s.logDropped = s.log[over-1].Version
+		s.log = append(s.log[:0:0], s.log[over:]...)
+	}
 }
 
 // AddNode adds a single node outside a batch.

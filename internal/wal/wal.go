@@ -1,0 +1,572 @@
+// Package wal is a segmented write-ahead log of opaque, checksummed
+// records. The store appends one record per committed mutation batch
+// *before* publishing the new version; after a crash, Open recovers the
+// longest valid record prefix — a torn or corrupted tail record is
+// truncated, never propagated — and Replay feeds the surviving records
+// back to the owner.
+//
+// On-disk layout: dir/seg-<first-seq>.wal files, ordered by the
+// sequence number of their first record. Each record is framed as
+//
+//	4 bytes  little-endian payload length
+//	8 bytes  little-endian sequence number
+//	4 bytes  CRC32-C over the sequence number and the payload
+//	payload
+//
+// Sequence numbers are assigned by the caller and must be strictly
+// increasing (the store uses the version a batch commits at). Segments
+// rotate at a size bound so TrimThrough can drop history that a
+// checkpoint has made redundant without rewriting files.
+//
+// Durability is governed by the sync policy: SyncAlways fsyncs after
+// every append (a committed record is never lost), SyncEvery fsyncs on
+// a background interval (a crash loses at most the last interval's
+// records), SyncNever leaves flushing to the OS.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SyncPolicy selects when appends reach stable storage.
+type SyncPolicy int
+
+// The fsync policies.
+const (
+	// SyncAlways fsyncs after every append: an Append that returned nil
+	// survives any crash.
+	SyncAlways SyncPolicy = iota
+	// SyncEvery fsyncs on a background interval: a crash loses at most
+	// the records appended since the last tick.
+	SyncEvery
+	// SyncNever never fsyncs explicitly; the OS flushes when it likes.
+	SyncNever
+)
+
+// ParseSyncPolicy parses the flag spelling: "always", "interval",
+// "never".
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(s) {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncEvery, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync policy %q (want always|interval|never)", s)
+}
+
+// String returns the flag spelling.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncEvery:
+		return "interval"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+const (
+	headerSize = 16
+	// maxRecordBytes rejects absurd lengths during recovery scans: a
+	// corrupted length field must read as a torn record, not as an
+	// attempt to allocate gigabytes.
+	maxRecordBytes = 256 << 20
+
+	// DefaultSegmentBytes rotates segments at 8 MiB.
+	DefaultSegmentBytes = 8 << 20
+	// DefaultSyncInterval is the SyncEvery cadence.
+	DefaultSyncInterval = 100 * time.Millisecond
+
+	segPrefix = "seg-"
+	segSuffix = ".wal"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Options configures a Log. The zero value means SyncAlways, default
+// segment size and default sync interval.
+type Options struct {
+	Sync         SyncPolicy
+	SyncInterval time.Duration // SyncEvery cadence; <= 0 means DefaultSyncInterval
+	SegmentBytes int64         // rotation bound; <= 0 means DefaultSegmentBytes
+}
+
+// Stats are the log's counters, point-in-time.
+type Stats struct {
+	Appended           uint64 `json:"records_appended"`
+	Fsyncs             uint64 `json:"fsyncs"`
+	Segments           int    `json:"segments"`
+	ActiveSegmentBytes int64  `json:"active_segment_bytes"`
+	LastSeq            uint64 `json:"last_seq"`
+	// TornTruncated counts invalid records dropped by the Open scan:
+	// torn tails, checksum mismatches, and any records stranded after
+	// them.
+	TornTruncated int `json:"torn_records_truncated"`
+}
+
+type segment struct {
+	first uint64 // sequence number the segment's first record carries
+	path  string
+}
+
+// Log is an append-only segmented record log. Safe for concurrent use.
+type Log struct {
+	dir string
+	opt Options
+
+	mu      sync.Mutex
+	segs    []segment
+	f       *os.File // active segment, nil until the first append of a fresh log
+	size    int64
+	lastSeq uint64
+	dirty   bool
+	closed  bool
+	// broken marks a log whose failed append could not be rewound:
+	// further appends would follow torn bytes and vanish at recovery, so
+	// they are refused.
+	broken bool
+	stats  Stats
+
+	stopSync chan struct{}
+	syncDone chan struct{}
+}
+
+// Open opens (creating if needed) the log in dir, scanning every
+// segment and truncating the invalid tail: the first record that is
+// torn (short header or payload), implausibly sized, or checksum-bad is
+// cut off together with everything after it, so the surviving log is
+// always a valid record prefix. The caller then appends records with
+// sequence numbers continuing after LastSeq.
+func Open(dir string, opt Options) (*Log, error) {
+	if opt.SegmentBytes <= 0 {
+		opt.SegmentBytes = DefaultSegmentBytes
+	}
+	if opt.SyncInterval <= 0 {
+		opt.SyncInterval = DefaultSyncInterval
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{dir: dir, opt: opt}
+	if err := l.recover(); err != nil {
+		return nil, err
+	}
+	if opt.Sync == SyncEvery {
+		l.stopSync = make(chan struct{})
+		l.syncDone = make(chan struct{})
+		go l.syncLoop()
+	}
+	return l, nil
+}
+
+// listSegments returns dir's segment files sorted by first sequence
+// number.
+func listSegments(dir string) ([]segment, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var segs []segment
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		first, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix), 16, 64)
+		if err != nil {
+			continue // not ours
+		}
+		segs = append(segs, segment{first: first, path: filepath.Join(dir, name)})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+	return segs, nil
+}
+
+// recover scans the segments, truncates the invalid tail, and positions
+// the log for appending into the last surviving segment.
+func (l *Log) recover() error {
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return err
+	}
+	for i, seg := range segs {
+		valid, records, lastSeq, torn, err := scanSegment(seg.path)
+		if err != nil {
+			return err
+		}
+		if records > 0 {
+			l.lastSeq = lastSeq
+		}
+		l.stats.TornTruncated += torn
+		if torn == 0 {
+			continue
+		}
+		// Cut the segment at the last valid record and drop every later
+		// segment: records beyond a tear are unreachable in sequence
+		// order, and keeping them would break prefix consistency.
+		if err := os.Truncate(seg.path, valid); err != nil {
+			return fmt.Errorf("wal: truncate torn tail of %s: %w", seg.path, err)
+		}
+		for _, later := range segs[i+1:] {
+			n, err := countRecords(later.path)
+			if err == nil {
+				l.stats.TornTruncated += n
+			}
+			if err := os.Remove(later.path); err != nil {
+				return fmt.Errorf("wal: drop post-tear segment %s: %w", later.path, err)
+			}
+		}
+		segs = segs[:i+1]
+		break
+	}
+	// Drop a fully truncated trailing segment: appends would otherwise
+	// land in a file whose name promises a sequence number the tear took
+	// back.
+	for len(segs) > 0 {
+		last := segs[len(segs)-1]
+		info, err := os.Stat(last.path)
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		if info.Size() > 0 {
+			break
+		}
+		if err := os.Remove(last.path); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		segs = segs[:len(segs)-1]
+	}
+	l.segs = segs
+	l.stats.Segments = len(segs)
+	l.stats.LastSeq = l.lastSeq
+	if len(segs) > 0 {
+		last := segs[len(segs)-1]
+		f, err := os.OpenFile(last.path, os.O_RDWR, 0o644)
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		size, err := f.Seek(0, io.SeekEnd)
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("wal: %w", err)
+		}
+		l.f, l.size = f, size
+		l.stats.ActiveSegmentBytes = size
+	}
+	return nil
+}
+
+// scanSegment walks a segment's records and returns the byte offset and
+// record count of the valid prefix, the last valid sequence number, and
+// how many invalid records (counting one for a torn/corrupt tail) were
+// found beyond it.
+func scanSegment(path string) (validBytes int64, records int, lastSeq uint64, torn int, err error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, 0, 0, fmt.Errorf("wal: %w", err)
+	}
+	off := int64(0)
+	for int64(len(buf))-off >= headerSize {
+		length := binary.LittleEndian.Uint32(buf[off:])
+		seq := binary.LittleEndian.Uint64(buf[off+4:])
+		sum := binary.LittleEndian.Uint32(buf[off+12:])
+		if length > maxRecordBytes || int64(length) > int64(len(buf))-off-headerSize {
+			break // implausible length or torn payload
+		}
+		payload := buf[off+headerSize : off+headerSize+int64(length)]
+		if crcRecord(seq, payload) != sum {
+			break
+		}
+		off += headerSize + int64(length)
+		records++
+		lastSeq = seq
+	}
+	if off < int64(len(buf)) {
+		torn = 1
+	}
+	return off, records, lastSeq, torn, nil
+}
+
+// countRecords counts the well-formed records of a segment (used only
+// to account for records dropped after a tear).
+func countRecords(path string) (int, error) {
+	_, n, _, _, err := scanSegment(path)
+	return n, err
+}
+
+func crcRecord(seq uint64, payload []byte) uint32 {
+	var sb [8]byte
+	binary.LittleEndian.PutUint64(sb[:], seq)
+	crc := crc32.Update(0, castagnoli, sb[:])
+	return crc32.Update(crc, castagnoli, payload)
+}
+
+// segName renders the file name of a segment whose first record carries
+// seq.
+func (l *Log) segName(seq uint64) string {
+	return filepath.Join(l.dir, fmt.Sprintf("%s%016x%s", segPrefix, seq, segSuffix))
+}
+
+// Append writes one record and makes it as durable as the sync policy
+// promises. seq must exceed LastSeq; the store passes the version the
+// batch commits at. On error nothing is guaranteed appended and the
+// caller must not publish the batch.
+func (l *Log) Append(seq uint64, payload []byte) error {
+	if len(payload) > maxRecordBytes {
+		return fmt.Errorf("wal: record of %d bytes exceeds the %d-byte bound", len(payload), maxRecordBytes)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: log is closed")
+	}
+	if l.broken {
+		return errors.New("wal: log is broken (a failed append could not be rewound); reopen to recover")
+	}
+	if seq <= l.lastSeq && l.lastSeq > 0 {
+		return fmt.Errorf("wal: non-monotonic sequence %d (last %d)", seq, l.lastSeq)
+	}
+	rec := int64(headerSize + len(payload))
+	if l.f == nil || (l.size > 0 && l.size+rec > l.opt.SegmentBytes) {
+		if err := l.rotateLocked(seq); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, headerSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(buf[4:], seq)
+	binary.LittleEndian.PutUint32(buf[12:], crcRecord(seq, payload))
+	copy(buf[headerSize:], payload)
+	if _, err := l.f.Write(buf); err != nil {
+		// Rewind past the partial record: the caller rolls the batch
+		// back, so nothing of it may survive — and the file offset must
+		// return to l.size, or a later successful record would land after
+		// the torn bytes and be silently cut by the recovery scan.
+		l.rewindLocked()
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if l.opt.Sync == SyncAlways {
+		if err := l.f.Sync(); err != nil {
+			// The record is fully written but the caller will roll the
+			// batch back; leaving it would resurrect a rolled-back batch
+			// at the next recovery. Cut it.
+			l.rewindLocked()
+			return fmt.Errorf("wal: fsync: %w", err)
+		}
+		l.stats.Fsyncs++
+	} else {
+		l.dirty = true
+	}
+	l.size += rec
+	l.lastSeq = seq
+	l.stats.Appended++
+	l.stats.LastSeq = seq
+	l.stats.ActiveSegmentBytes = l.size
+	return nil
+}
+
+// rewindLocked cuts a failed append back to the last committed size. If
+// even the truncate fails the log is marked broken: subsequent appends
+// would land after torn bytes and be silently discarded by the next
+// recovery scan, so they must fail loudly instead. l.mu held.
+func (l *Log) rewindLocked() {
+	terr := l.f.Truncate(l.size)
+	if _, serr := l.f.Seek(l.size, io.SeekStart); terr != nil || serr != nil {
+		l.broken = true
+	}
+}
+
+// rotateLocked syncs and closes the active segment and starts a new one
+// whose name carries seq. l.mu held.
+func (l *Log) rotateLocked(seq uint64) error {
+	if l.f != nil {
+		if l.dirty || l.opt.Sync == SyncAlways {
+			if err := l.f.Sync(); err != nil {
+				return fmt.Errorf("wal: fsync on rotate: %w", err)
+			}
+			l.stats.Fsyncs++
+			l.dirty = false
+		}
+		if err := l.f.Close(); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		l.f = nil
+	}
+	path := l.segName(seq)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: new segment: %w", err)
+	}
+	SyncDir(l.dir) // make the new name durable before records land in it
+	l.f, l.size = f, 0
+	l.segs = append(l.segs, segment{first: seq, path: path})
+	l.stats.Segments = len(l.segs)
+	l.stats.ActiveSegmentBytes = 0
+	return nil
+}
+
+// Sync forces pending appends to stable storage regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.f == nil || !l.dirty {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.dirty = false
+	l.stats.Fsyncs++
+	return nil
+}
+
+func (l *Log) syncLoop() {
+	defer close(l.syncDone)
+	t := time.NewTicker(l.opt.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stopSync:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			l.syncLocked()
+			l.mu.Unlock()
+		}
+	}
+}
+
+// LastSeq returns the sequence number of the newest record (0 when the
+// log is empty).
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastSeq
+}
+
+// Replay calls fn for every record with sequence number > after, in
+// order. The payload slice is only valid during the call. Replay reads
+// from disk; it is meant for the boot path, before appends begin.
+func (l *Log) Replay(after uint64, fn func(seq uint64, payload []byte) error) error {
+	l.mu.Lock()
+	segs := append([]segment(nil), l.segs...)
+	if err := l.syncLocked(); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	l.mu.Unlock()
+	for i, seg := range segs {
+		// Segments are named by their first sequence number, so one whose
+		// successor starts at or below the cutoff holds nothing to replay.
+		if i+1 < len(segs) && segs[i+1].first <= after+1 {
+			continue
+		}
+		buf, err := os.ReadFile(seg.path)
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		off := int64(0)
+		for int64(len(buf))-off >= headerSize {
+			length := binary.LittleEndian.Uint32(buf[off:])
+			seq := binary.LittleEndian.Uint64(buf[off+4:])
+			sum := binary.LittleEndian.Uint32(buf[off+12:])
+			if length > maxRecordBytes || int64(length) > int64(len(buf))-off-headerSize {
+				return fmt.Errorf("wal: %s: torn record at offset %d after recovery", seg.path, off)
+			}
+			payload := buf[off+headerSize : off+headerSize+int64(length)]
+			if crcRecord(seq, payload) != sum {
+				return fmt.Errorf("wal: %s: corrupt record at offset %d after recovery", seg.path, off)
+			}
+			if seq > after {
+				if err := fn(seq, payload); err != nil {
+					return err
+				}
+			}
+			off += headerSize + int64(length)
+		}
+	}
+	return nil
+}
+
+// TrimThrough removes whole segments whose every record has sequence
+// number <= seq — history a checkpoint at seq has made redundant. The
+// active segment is never removed. Returns the number of segments
+// dropped.
+func (l *Log) TrimThrough(seq uint64) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	removed := 0
+	for len(l.segs) > 1 && l.segs[1].first <= seq+1 {
+		// Everything in segs[0] is < segs[1].first <= seq+1, hence <= seq.
+		if err := os.Remove(l.segs[0].path); err != nil {
+			return removed, fmt.Errorf("wal: trim: %w", err)
+		}
+		l.segs = l.segs[1:]
+		removed++
+	}
+	if removed > 0 {
+		l.stats.Segments = len(l.segs)
+		SyncDir(l.dir)
+	}
+	return removed, nil
+}
+
+// Stats returns the counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// Close syncs pending appends and closes the log. Idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	err := l.syncLocked()
+	if l.f != nil {
+		if cerr := l.f.Close(); err == nil {
+			err = cerr
+		}
+		l.f = nil
+	}
+	l.mu.Unlock()
+	if l.stopSync != nil {
+		close(l.stopSync)
+		<-l.syncDone
+	}
+	return err
+}
+
+// SyncDir fsyncs a directory so renames and creates inside it are
+// durable. Best effort: some platforms refuse directory fsync. Shared
+// with the store's checkpoint writer.
+func SyncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

@@ -1,0 +1,354 @@
+package wal
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func openTestLog(t *testing.T, dir string, opt Options) *Log {
+	t.Helper()
+	l, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+// collect replays every record with seq > after into a map.
+func collect(t *testing.T, l *Log, after uint64) map[uint64]string {
+	t.Helper()
+	got := make(map[uint64]string)
+	err := l.Replay(after, func(seq uint64, payload []byte) error {
+		got[seq] = string(payload)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l := openTestLog(t, dir, Options{Sync: SyncAlways, SegmentBytes: 128})
+	const n = 50
+	for i := 1; i <= n; i++ {
+		if err := l.Append(uint64(i), []byte(fmt.Sprintf("record-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.LastSeq() != n {
+		t.Fatalf("LastSeq = %d, want %d", l.LastSeq(), n)
+	}
+	if st := l.Stats(); st.Segments < 2 {
+		t.Fatalf("expected rotation with SegmentBytes=128, got %d segments", st.Segments)
+	}
+	got := collect(t, l, 20)
+	if len(got) != n-20 {
+		t.Fatalf("replay after 20 returned %d records, want %d", len(got), n-20)
+	}
+	for i := 21; i <= n; i++ {
+		if got[uint64(i)] != fmt.Sprintf("record-%d", i) {
+			t.Fatalf("record %d = %q", i, got[uint64(i)])
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: everything survives, appends continue.
+	l2 := openTestLog(t, dir, Options{Sync: SyncAlways})
+	if l2.LastSeq() != n {
+		t.Fatalf("reopened LastSeq = %d, want %d", l2.LastSeq(), n)
+	}
+	if err := l2.Append(n+1, []byte("after-reopen")); err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, l2, n); got[n+1] != "after-reopen" {
+		t.Fatalf("post-reopen record missing: %v", got)
+	}
+}
+
+func TestAppendRejectsNonMonotonicSeq(t *testing.T) {
+	l := openTestLog(t, t.TempDir(), Options{})
+	if err := l.Append(5, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(5, []byte("b")); err == nil {
+		t.Fatal("duplicate sequence accepted")
+	}
+	if err := l.Append(4, []byte("c")); err == nil {
+		t.Fatal("regressing sequence accepted")
+	}
+}
+
+// lastSegment returns the path of the newest segment file.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments in %s (err %v)", dir, err)
+	}
+	return segs[len(segs)-1].path
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	l := openTestLog(t, dir, Options{Sync: SyncAlways})
+	for i := 1; i <= 3; i++ {
+		if err := l.Append(uint64(i), []byte(fmt.Sprintf("r%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	// Tear the tail: chop the last record mid-payload.
+	path := lastSegment(t, dir)
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-1); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openTestLog(t, dir, Options{Sync: SyncAlways})
+	if l2.LastSeq() != 2 {
+		t.Fatalf("LastSeq after torn tail = %d, want 2", l2.LastSeq())
+	}
+	if st := l2.Stats(); st.TornTruncated != 1 {
+		t.Fatalf("TornTruncated = %d, want 1", st.TornTruncated)
+	}
+	got := collect(t, l2, 0)
+	if len(got) != 2 || got[1] != "r1" || got[2] != "r2" {
+		t.Fatalf("prefix after tear = %v", got)
+	}
+	// The log accepts the re-append of the lost record.
+	if err := l2.Append(3, []byte("r3-retry")); err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, l2, 0); got[3] != "r3-retry" {
+		t.Fatalf("re-append lost: %v", got)
+	}
+}
+
+func TestCorruptChecksumTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	l := openTestLog(t, dir, Options{Sync: SyncAlways})
+	for i := 1; i <= 3; i++ {
+		if err := l.Append(uint64(i), []byte(fmt.Sprintf("r%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	// Flip a payload byte of the last record.
+	path := lastSegment(t, dir)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)-1] ^= 0xff
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openTestLog(t, dir, Options{Sync: SyncAlways})
+	if l2.LastSeq() != 2 {
+		t.Fatalf("LastSeq after corruption = %d, want 2", l2.LastSeq())
+	}
+	if got := collect(t, l2, 0); len(got) != 2 {
+		t.Fatalf("prefix after corruption = %v", got)
+	}
+}
+
+// TestTornTailPropertyEveryCut cuts the final segment at every possible
+// byte length and asserts Open always recovers a valid record prefix —
+// never an error, never a partial record.
+func TestTornTailPropertyEveryCut(t *testing.T) {
+	base := t.TempDir()
+	src := filepath.Join(base, "src")
+	l, err := Open(src, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	var bodies []string
+	const n = 8
+	for i := 1; i <= n; i++ {
+		body := fmt.Sprintf("rec-%d-%s", i, randString(rng, 1+rng.Intn(40)))
+		bodies = append(bodies, body)
+		if err := l.Append(uint64(i), []byte(body)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	segPath := lastSegment(t, src)
+	full, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := 0; cut <= len(full); cut++ {
+		dir := filepath.Join(base, fmt.Sprintf("cut-%d", cut))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, filepath.Base(segPath)), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		lc, err := Open(dir, Options{Sync: SyncNever})
+		if err != nil {
+			t.Fatalf("cut %d: Open: %v", cut, err)
+		}
+		got := collect(t, lc, 0)
+		k := int(lc.LastSeq())
+		if len(got) != k {
+			t.Fatalf("cut %d: %d records but LastSeq %d", cut, len(got), k)
+		}
+		for i := 1; i <= k; i++ {
+			if got[uint64(i)] != bodies[i-1] {
+				t.Fatalf("cut %d: record %d = %q, want %q", cut, i, got[uint64(i)], bodies[i-1])
+			}
+		}
+		// The recovered prefix is monotone in the cut: cutting later never
+		// loses earlier records.
+		if cut == len(full) && k != n {
+			t.Fatalf("uncut log lost records: %d/%d", k, n)
+		}
+		lc.Close()
+	}
+}
+
+func randString(rng *rand.Rand, n int) string {
+	const alpha = "abcdefghijklmnopqrstuvwxyz0123456789"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alpha[rng.Intn(len(alpha))]
+	}
+	return string(b)
+}
+
+func TestTrimThrough(t *testing.T) {
+	dir := t.TempDir()
+	l := openTestLog(t, dir, Options{Sync: SyncAlways, SegmentBytes: 64})
+	const n = 40
+	for i := 1; i <= n; i++ {
+		if err := l.Append(uint64(i), []byte(fmt.Sprintf("record-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := l.Stats().Segments
+	if before < 3 {
+		t.Fatalf("want >=3 segments, got %d", before)
+	}
+	removed, err := l.TrimThrough(n / 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("trim removed nothing")
+	}
+	// Every record > n/2 must still replay; none above the cutoff lost.
+	got := collect(t, l, n/2)
+	if len(got) != n/2 {
+		t.Fatalf("after trim, replay(>%d) returned %d records, want %d", n/2, len(got), n/2)
+	}
+	// The active segment survives even a trim beyond the end.
+	if _, err := l.TrimThrough(n + 100); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.Segments != 1 {
+		t.Fatalf("segments after full trim = %d, want 1 (active)", st.Segments)
+	}
+	if err := l.Append(n+1, []byte("post-trim")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyncIntervalPolicy(t *testing.T) {
+	dir := t.TempDir()
+	l := openTestLog(t, dir, Options{Sync: SyncEvery, SyncInterval: 5 * time.Millisecond})
+	if err := l.Append(1, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for l.Stats().Fsyncs == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("interval syncer never fsynced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close is idempotent and appends after close fail.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(2, []byte("b")); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for in, want := range map[string]SyncPolicy{"always": SyncAlways, "interval": SyncEvery, "never": SyncNever, "ALWAYS": SyncAlways} {
+		got, err := ParseSyncPolicy(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSyncPolicy(%q) = %v, %v", in, got, err)
+		}
+		if got.String() == "" {
+			t.Errorf("empty String for %v", got)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Error("bad policy accepted")
+	}
+}
+
+// TestFailedAppendDoesNotAdvance: an Append that errors must leave no
+// trace — lastSeq unchanged so the caller's rollback holds, and when
+// the failure cannot be rewound the log refuses further appends instead
+// of writing records that a recovery scan would silently discard
+// behind the torn bytes.
+func TestFailedAppendDoesNotAdvance(t *testing.T) {
+	dir := t.TempDir()
+	l := openTestLog(t, dir, Options{Sync: SyncAlways})
+	if err := l.Append(1, []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	// Yank the file descriptor out from under the log: the next write
+	// fails, and so does the rewind.
+	l.mu.Lock()
+	l.f.Close()
+	l.mu.Unlock()
+	if err := l.Append(2, []byte("doomed")); err == nil {
+		t.Fatal("append on closed fd succeeded")
+	}
+	if l.LastSeq() != 1 {
+		t.Fatalf("failed append advanced LastSeq to %d", l.LastSeq())
+	}
+	if st := l.Stats(); st.Appended != 1 {
+		t.Fatalf("failed append counted: %+v", st)
+	}
+	// The unrewindable log is broken and says so.
+	if err := l.Append(2, []byte("after-break")); err == nil {
+		t.Fatal("broken log accepted an append")
+	}
+	// Reopen recovers the valid prefix and serves appends again.
+	l2 := openTestLog(t, dir, Options{Sync: SyncAlways})
+	if l2.LastSeq() != 1 {
+		t.Fatalf("reopened LastSeq = %d, want 1", l2.LastSeq())
+	}
+	if err := l2.Append(2, []byte("retry")); err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, l2, 0); got[1] != "good" || got[2] != "retry" {
+		t.Fatalf("recovered records = %v", got)
+	}
+}

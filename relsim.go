@@ -39,6 +39,7 @@ import (
 	"relsim/internal/sim"
 	"relsim/internal/sparse"
 	"relsim/internal/store"
+	"relsim/internal/wal"
 )
 
 // Re-exported core types. The facade aliases the internal packages so a
@@ -82,6 +83,15 @@ type (
 	StorePin = store.Pin
 	// StoreUpdate is one record of a store's update log.
 	StoreUpdate = store.Update
+	// StoreOpenOption configures OpenStore.
+	StoreOpenOption = store.OpenOption
+	// StoreFeed is one page of a store's replication feed (GET /log).
+	StoreFeed = store.Feed
+	// DurabilityStats is the monitoring view of a durable store's WAL
+	// and checkpoint layer.
+	DurabilityStats = store.DurabilityStats
+	// SyncPolicy selects when WAL appends reach stable storage.
+	SyncPolicy = wal.SyncPolicy
 	// Server is the HTTP/JSON query service over a Store.
 	Server = server.Server
 	// ServerOption configures NewServer.
@@ -101,6 +111,43 @@ func NewGraph() *Graph { return graph.New() }
 // it atomically, bump the version per mutation and feed the update log.
 // Use it with NewServer for live serving.
 func NewStore(g *Graph) *Store { return store.New(g) }
+
+// The WAL fsync policies (see OpenStore / WithStoreSync).
+const (
+	// SyncAlways fsyncs every committed batch before publication: a
+	// version a reader can observe survives any crash.
+	SyncAlways = wal.SyncAlways
+	// SyncInterval fsyncs on a background cadence: a crash loses at
+	// most the last interval's commits (each lost whole, never torn).
+	SyncInterval = wal.SyncEvery
+	// SyncNever leaves flushing to the OS.
+	SyncNever = wal.SyncNever
+)
+
+// OpenStore opens (creating if needed) a durable MVCC store in dir:
+// every committed batch is appended to a checksummed write-ahead log
+// before it is published, the graph is checkpointed periodically, and
+// recovery on boot replays checkpoint + WAL tail — truncating a torn
+// tail record instead of failing — resuming the version counter exactly
+// where the crash left it.
+func OpenStore(dir string, opts ...StoreOpenOption) (*Store, error) {
+	return store.Open(dir, opts...)
+}
+
+// WithStoreSeed supplies the initial graph for a fresh data directory;
+// a directory that already holds state ignores it (recovered state
+// wins).
+func WithStoreSeed(g *Graph) StoreOpenOption { return store.WithSeed(g) }
+
+// WithStoreSync sets the WAL fsync policy (default SyncAlways).
+func WithStoreSync(p SyncPolicy) StoreOpenOption { return store.WithSync(p) }
+
+// WithStoreSyncInterval sets the SyncInterval cadence.
+func WithStoreSyncInterval(d time.Duration) StoreOpenOption { return store.WithSyncInterval(d) }
+
+// WithStoreCheckpointEvery checkpoints the graph every n committed
+// versions; 0 disables periodic checkpoints.
+func WithStoreCheckpointEvery(n uint64) StoreOpenOption { return store.WithCheckpointEvery(n) }
 
 // NewServer builds the HTTP/JSON query service over st. The schema may
 // be nil (no Algorithm-1 expansion constraints). Mount the result on any
@@ -132,6 +179,20 @@ func WithServerParallelThresholds(t ParallelThresholds) ServerOption {
 // exactly once across the worker pool.
 func WithServerWorkloadPlanning(on bool) ServerOption {
 	return server.WithWorkloadPlanning(on)
+}
+
+// WithServerDurability toggles the server's durability surface (default
+// on): the GET /log replication catch-up feed and the durability
+// section of /stats. Turn it off when the update feed must not be
+// reachable through a public listener.
+func WithServerDurability(on bool) ServerOption {
+	return server.WithDurability(on)
+}
+
+// WithServerExpandCacheLimit bounds the Algorithm-1 expansion memo to n
+// entries with LRU eviction.
+func WithServerExpandCacheLimit(n int) ServerOption {
+	return server.WithExpandCacheLimit(n)
 }
 
 // CanonicalPattern returns the canonical form of p: associativity

@@ -342,3 +342,45 @@ func TestRenamingFacade(t *testing.T) {
 		t.Error("non-injective renaming must fail")
 	}
 }
+
+func TestOpenStoreFacade(t *testing.T) {
+	dir := t.TempDir()
+	g, _, _ := courseGraph()
+	st, err := OpenStore(dir,
+		WithStoreSeed(g),
+		WithStoreSync(SyncAlways),
+		WithStoreCheckpointEvery(0),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := st.AddNode("facade-node", "subject")
+	if err := st.AddEdge(a, "os", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Version() != 2 {
+		t.Fatalf("recovered version = %d, want 2", st2.Version())
+	}
+	var ds DurabilityStats = st2.DurabilityStats()
+	if !ds.Enabled || ds.Recovery.RecoveredVersion != 2 {
+		t.Fatalf("durability stats = %+v", ds)
+	}
+	var feed StoreFeed = st2.LogFeed(0, 10)
+	if feed.Gap || len(feed.Updates) != 2 {
+		t.Fatalf("feed = %+v", feed)
+	}
+	// The server option compiles and wires: a durability-off server is
+	// constructible over a durable store.
+	if srv := NewServer(st2, nil, WithServerDurability(false), WithServerExpandCacheLimit(16)); srv == nil {
+		t.Fatal("NewServer returned nil")
+	}
+}
