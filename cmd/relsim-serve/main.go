@@ -10,6 +10,7 @@
 //	relsim-serve -dataset dblp-small [-addr :8080] [-timeout 30s]
 //	relsim-serve -in g.jsonl -schema dblp [-workers 8] [-cache-limit 512]
 //	relsim-serve -dataset dblp-small -data-dir /var/lib/relsim [-fsync always]
+//	relsim-serve -follow http://leader:8080 [-data-dir /var/lib/replica] [-max-lag 1024]
 //
 // With -data-dir the store is durable: every committed mutation batch
 // is appended to a write-ahead log before publication, the graph is
@@ -18,14 +19,23 @@
 // exactly — before it starts listening. The -dataset/-in graph seeds a
 // fresh directory only; recovered state always wins.
 //
+// With -follow the process is a read replica: it bootstraps from the
+// leader's GET /checkpoint, tails GET /log, serves the full read API at
+// the replicated versions, rejects mutations with 403 naming the
+// leader, and re-bootstraps automatically when the leader signals a
+// feed gap. A follower with -data-dir persists what it applies and
+// resumes tailing from its recovered version after a restart.
+//
 // Endpoints: POST /search, POST /batch, POST /explain,
 // POST /graph/edges, GET /healthz, GET /stats, GET /log (the
-// replication catch-up feed). See internal/server for the request and
-// response shapes, and the top-level README for curl examples.
+// replication catch-up feed), GET /checkpoint (the bootstrap
+// transfer). See internal/server for the request and response shapes,
+// and the top-level README for curl examples.
 //
-// On SIGINT/SIGTERM the server drains in-flight requests for -drain,
-// flushes a final /stats snapshot to the log, and closes the store
-// (final WAL fsync) before exiting.
+// On SIGINT/SIGTERM the server stops tailing (followers), drains
+// in-flight requests for -drain, flushes a final /stats snapshot to the
+// log, and closes the store (final WAL fsync) before exiting; a
+// mutation racing the drain gets a clean 503.
 package main
 
 import (
@@ -43,6 +53,7 @@ import (
 
 	"relsim/internal/datasets"
 	"relsim/internal/graph"
+	"relsim/internal/replica"
 	"relsim/internal/schema"
 	"relsim/internal/server"
 	"relsim/internal/sparse"
@@ -75,7 +86,25 @@ func run(args []string) error {
 	fsync := fs.String("fsync", "always", "WAL fsync policy: always (no committed batch is ever lost), interval, never")
 	fsyncInterval := fs.Duration("fsync-interval", wal.DefaultSyncInterval, "fsync cadence for -fsync interval")
 	checkpointEvery := fs.Uint64("checkpoint-every", store.DefaultCheckpointEvery, "versions between graph checkpoints (0 = only the boot checkpoint)")
+	segmentBytes := fs.Int64("wal-segment-bytes", wal.DefaultSegmentBytes, "WAL segment rotation bound in bytes (smaller segments let checkpoints trim history sooner)")
+	logRetention := fs.Int("log-retention", store.DefaultLogCap, "in-memory replication feed retention in records (a durable store falls back to the WAL past it)")
+	follow := fs.String("follow", "", "leader base URL (e.g. http://leader:8080); run as a read replica of it")
+	pollInterval := fs.Duration("poll-interval", replica.DefaultPollInterval, "follower: feed poll cadence while caught up")
+	maxLag := fs.Uint64("max-lag", 0, "follower: /healthz turns 503 while replication lag exceeds this many versions (0 = unbounded)")
+	maxLagAge := fs.Duration("max-lag-age", 0, "follower: /healthz turns 503 while behind for longer than this (0 = unbounded; catches an unreachable leader, whose version lag freezes)")
 	fs.Parse(args)
+
+	if *follow != "" {
+		return runFollower(followerConfig{
+			addr: *addr, leader: *follow, schemaName: *schemaName,
+			workers: *workers, cacheLimit: *cacheLimit, timeout: *timeout, drain: *drain,
+			gate: sparse.Thresholds{MinDim: *minDim, MinNNZ: *minNNZ}, plan: *workloadPlan,
+			dataDir: *dataDir, fsync: *fsync, fsyncInterval: *fsyncInterval,
+			checkpointEvery: *checkpointEvery, segmentBytes: *segmentBytes, logRetention: *logRetention,
+			pollInterval: *pollInterval, maxLag: *maxLag, maxLagAge: *maxLagAge,
+			dataset: *dataset, in: *in,
+		})
+	}
 
 	g, sc, err := load(*dataset, *in, *schemaName)
 	if err != nil {
@@ -94,18 +123,21 @@ func run(args []string) error {
 			store.WithSync(policy),
 			store.WithSyncInterval(*fsyncInterval),
 			store.WithCheckpointEvery(*checkpointEvery),
+			store.WithSegmentBytes(*segmentBytes),
+			store.WithLogRetention(*logRetention),
 		)
 		if err != nil {
 			return err
 		}
-		defer st.Close()
 		ds := st.DurabilityStats()
 		log.Printf("durable store %s: recovered version %d (checkpoint %d + %d replayed records, %d torn records truncated), fsync %s, checkpoint every %d",
 			*dataDir, ds.Recovery.RecoveredVersion, ds.Recovery.CheckpointVersion,
 			ds.Recovery.ReplayedRecords, ds.WAL.TornTruncated, ds.SyncPolicy, ds.CheckpointEvery)
 	} else {
 		st = store.New(g)
+		st.SetLogRetention(*logRetention)
 	}
+	defer st.Close()
 	srv := server.New(st, sc,
 		server.WithWorkers(*workers),
 		server.WithCacheLimit(*cacheLimit),
@@ -118,22 +150,45 @@ func run(args []string) error {
 	log.Printf("serving %d nodes, %d edges, labels %v on %s (MVCC snapshot isolation, timeout %v, workload planning %v, durable %v)",
 		stats.Nodes, stats.Edges, stats.Labels, *addr, *timeout, *workloadPlan, st.Durable())
 
-	hs := &http.Server{Addr: *addr, Handler: srv}
+	return serve(srv, st, *addr, *drain, nil, nil)
+}
+
+// serve runs the HTTP server until SIGINT/SIGTERM, then drains and —
+// when stopTailer is set (follower mode) — stops the replication loop
+// first so no page lands mid-teardown. The caller's deferred st.Close
+// runs after serve returns; mutations racing the drain hit the
+// closed-store 503, never a torn WAL append. A nil sigc registers a
+// fresh signal channel; follower mode passes its own, registered
+// before the bootstrap began, so no delivery window ever reverts to
+// the default die-without-drain disposition.
+func serve(srv *server.Server, st *store.Store, addr string, drain time.Duration, stopTailer func(), sigc <-chan os.Signal) error {
+	hs := &http.Server{Addr: addr, Handler: srv}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 
-	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	if sigc == nil {
+		c := make(chan os.Signal, 1)
+		signal.Notify(c, os.Interrupt, syscall.SIGTERM)
+		sigc = c
+	}
 	select {
 	case err := <-errc:
+		if stopTailer != nil {
+			stopTailer()
+		}
 		return err
 	case sig := <-sigc:
-		log.Printf("received %v, draining for up to %v", sig, *drain)
-		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		log.Printf("received %v, draining for up to %v", sig, drain)
+		if stopTailer != nil {
+			stopTailer()
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
 		defer cancel()
 		shutdownErr := hs.Shutdown(ctx)
 		if shutdownErr != nil {
 			// Drain deadline exceeded: force-close lingering connections.
+			// An in-flight mutation now races store.Close — which refuses
+			// it cleanly (503) instead of panicking on a closed WAL.
 			log.Printf("drain incomplete (%v), closing", shutdownErr)
 			hs.Close()
 		}
@@ -143,6 +198,130 @@ func run(args []string) error {
 		}
 		return shutdownErr
 	}
+}
+
+// followerConfig carries the follower-mode flags.
+type followerConfig struct {
+	addr, leader, schemaName string
+	workers, cacheLimit      int
+	timeout, drain           time.Duration
+	gate                     sparse.Thresholds
+	plan                     bool
+	dataDir, fsync           string
+	fsyncInterval            time.Duration
+	checkpointEvery          uint64
+	segmentBytes             int64
+	logRetention             int
+	pollInterval             time.Duration
+	maxLag                   uint64
+	maxLagAge                time.Duration
+	dataset, in              string
+}
+
+// runFollower boots a read replica: build the (optionally durable)
+// store, bootstrap + catch up from the leader synchronously — the
+// listener only opens on a converged replica, mirroring how a durable
+// leader recovers before listening — then serve reads while the tailer
+// keeps following.
+func runFollower(cfg followerConfig) error {
+	if cfg.dataset != "" || cfg.in != "" {
+		return fmt.Errorf("-follow is mutually exclusive with -dataset/-in: a follower's graph comes from the leader's checkpoint")
+	}
+	leaderURL, err := replica.LeaderURL(cfg.leader)
+	if err != nil {
+		return err
+	}
+	var sc *schema.Schema
+	if cfg.schemaName != "" {
+		if sc = datasets.SchemaByName(cfg.schemaName); sc == nil {
+			return fmt.Errorf("unknown schema %q (have dblp|wsu|biomed)", cfg.schemaName)
+		}
+	}
+	var st *store.Store
+	if cfg.dataDir != "" {
+		policy, err := wal.ParseSyncPolicy(cfg.fsync)
+		if err != nil {
+			return err
+		}
+		st, err = store.Open(cfg.dataDir,
+			store.WithSync(policy),
+			store.WithSyncInterval(cfg.fsyncInterval),
+			store.WithCheckpointEvery(cfg.checkpointEvery),
+			store.WithSegmentBytes(cfg.segmentBytes),
+			store.WithLogRetention(cfg.logRetention),
+		)
+		if err != nil {
+			return err
+		}
+		ds := st.DurabilityStats()
+		log.Printf("durable replica store %s: recovered version %d", cfg.dataDir, ds.Recovery.RecoveredVersion)
+	} else {
+		st = store.New(nil)
+		st.SetLogRetention(cfg.logRetention)
+	}
+	defer st.Close()
+
+	tailCtx, stopTail := context.WithCancel(context.Background())
+	defer stopTail()
+	f := replica.New(st, leaderURL, replica.Options{
+		PollInterval: cfg.pollInterval,
+		Logf:         log.Printf,
+	})
+	// One signal channel for the follower's whole lifetime, registered
+	// before the bootstrap begins: a SIGINT/SIGTERM at any point cancels
+	// the tailer and is relayed onward for serve's graceful drain — no
+	// window where the default die-without-drain disposition applies,
+	// and no signal consumed without acting on it.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	relay := make(chan os.Signal, 1)
+	go func() {
+		for sig := range sigc {
+			stopTail()
+			select {
+			case relay <- sig:
+			default:
+			}
+		}
+	}()
+	err = f.Start(tailCtx)
+	// A signal that landed during the initial sync cancelled tailCtx,
+	// and Start may still have returned nil if the last page had just
+	// finished. Honoring the shutdown here matters: proceeding would
+	// open the listener with a dead tailer (Run exits immediately on
+	// the cancelled context) and the replica would serve, frozen,
+	// forever.
+	if tailCtx.Err() != nil {
+		log.Printf("shutdown requested during initial sync, exiting")
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+
+	tailDone := make(chan struct{})
+	go func() {
+		defer close(tailDone)
+		f.Run(tailCtx)
+	}()
+
+	srv := server.New(st, sc,
+		server.WithWorkers(cfg.workers),
+		server.WithCacheLimit(cfg.cacheLimit),
+		server.WithTimeout(cfg.timeout),
+		server.WithParallelThresholds(cfg.gate),
+		server.WithWorkloadPlanning(cfg.plan),
+		server.WithFollower(f, cfg.maxLag, cfg.maxLagAge),
+	)
+
+	stats := st.Stats()
+	log.Printf("follower of %s serving %d nodes, %d edges at version %d on %s (poll %v, max lag %d, durable %v)",
+		leaderURL, stats.Nodes, stats.Edges, stats.Version, cfg.addr, cfg.pollInterval, cfg.maxLag, st.Durable())
+
+	return serve(srv, st, cfg.addr, cfg.drain, func() {
+		stopTail()
+		<-tailDone
+	}, relay)
 }
 
 // flushStats logs the final /stats snapshot so post-mortems see the

@@ -1,0 +1,259 @@
+package replica_test
+
+// Follower protocol tests against a real in-process leader: checkpoint
+// bootstrap, contiguous tailing (including WAL-backed pages past the
+// leader's in-memory retention), convergence to byte-identical reads,
+// and the automatic re-bootstrap on a hard feed gap. The external test
+// package breaks no import cycle: server imports replica for the
+// status type, and these tests need server for the leader.
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"relsim/internal/graph"
+	"relsim/internal/replica"
+	"relsim/internal/server"
+	"relsim/internal/store"
+)
+
+func leaderGraph() *graph.Graph {
+	g := graph.New()
+	p1 := g.AddNode("p1", "paper")
+	p2 := g.AddNode("p2", "paper")
+	a1 := g.AddNode("a1", "author")
+	g.AddEdge(p1, "by", a1)
+	g.AddEdge(p2, "by", a1)
+	return g
+}
+
+// newLeader serves st over httptest and returns its base URL.
+func newLeader(t *testing.T, st *store.Store) string {
+	t.Helper()
+	ts := httptest.NewServer(server.New(st, nil))
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// mutate commits one add-node + add-edge batch (2 versions).
+func mutate(t *testing.T, st *store.Store, i int) {
+	t.Helper()
+	err := st.Update(func(tx *store.Tx) error {
+		id := tx.AddNode(fmt.Sprintf("n-%d", i), "paper")
+		return tx.AddEdge(id, "by", 2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// assertConverged checks the follower matches the leader exactly at the
+// leader's version.
+func assertConverged(t *testing.T, leader, follower *store.Store) {
+	t.Helper()
+	ls, lv := leader.Snapshot()
+	fs, fv := follower.Snapshot()
+	if lv != fv {
+		t.Fatalf("follower at version %d, leader at %d", fv, lv)
+	}
+	if ls.NumNodes() != fs.NumNodes() || ls.NumEdges() != fs.NumEdges() {
+		t.Fatalf("follower graph %d/%d != leader %d/%d", fs.NumNodes(), fs.NumEdges(), ls.NumNodes(), ls.NumEdges())
+	}
+}
+
+func TestFollowerBootstrapAndTail(t *testing.T) {
+	lst := store.New(leaderGraph())
+	url := newLeader(t, lst)
+	for i := 0; i < 5; i++ {
+		mutate(t, lst, i)
+	}
+
+	fst := store.New(nil)
+	f := replica.New(fst, url, replica.Options{PollInterval: 10 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := f.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Start = bootstrap (the version-0 seed arrives via the checkpoint
+	// transfer, it is not in the update log) + tail to live.
+	assertConverged(t, lst, fst)
+	st := f.Status()
+	if st.Bootstraps != 1 || !st.SyncedOnce || !st.CaughtUp || st.LagVersions != 0 {
+		t.Fatalf("post-start status = %+v", st)
+	}
+
+	// New commits are picked up by the running tailer.
+	for i := 5; i < 8; i++ {
+		mutate(t, lst, i)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); f.Run(ctx) }()
+	deadline := time.Now().Add(20 * time.Second)
+	for fst.Version() != lst.Version() {
+		if time.Now().After(deadline) {
+			t.Fatalf("tailer never converged: follower %d leader %d (status %+v)", fst.Version(), lst.Version(), f.Status())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	<-done
+	assertConverged(t, lst, fst)
+	// The in-memory leader's /checkpoint streams the live snapshot, so
+	// the bootstrap already carried the first 10 versions; only the 3
+	// post-bootstrap batches (6 updates) flow through the feed.
+	if st := f.Status(); st.UpdatesApplied != 6 || st.Bootstraps != 1 {
+		t.Fatalf("final status = %+v, want 6 updates applied over 1 bootstrap", st)
+	}
+}
+
+// TestFollowerWALBackedCatchUp: the leader's in-memory retention is
+// tiny, so the whole history after the boot checkpoint is served
+// through the WAL-backed feed — the follower still converges without a
+// single re-bootstrap.
+func TestFollowerWALBackedCatchUp(t *testing.T) {
+	dir := t.TempDir()
+	lst, err := store.Open(dir, store.WithSeed(leaderGraph()), store.WithCheckpointEvery(0), store.WithLogRetention(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lst.Close()
+	url := newLeader(t, lst)
+	for i := 0; i < 10; i++ {
+		mutate(t, lst, i) // 20 versions; memory holds only the last 2
+	}
+
+	fst := store.New(nil)
+	f := replica.New(fst, url, replica.Options{PollInterval: 10 * time.Millisecond, Page: 3})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := f.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	assertConverged(t, lst, fst)
+	if st := f.Status(); st.Bootstraps != 1 || st.GapResyncs != 0 || st.UpdatesApplied != 20 {
+		t.Fatalf("WAL-backed catch-up status = %+v, want 20 updates, no gap resyncs", st)
+	}
+}
+
+// TestFollowerGapRebootstrap: checkpoint trimming on the leader retires
+// the records a parked follower needs; on its next poll the feed
+// signals the hard gap and the follower re-bootstraps automatically,
+// converging again.
+func TestFollowerGapRebootstrap(t *testing.T) {
+	dir := t.TempDir()
+	lst, err := store.Open(dir, store.WithSeed(leaderGraph()),
+		store.WithCheckpointEvery(0), store.WithLogRetention(2), store.WithSegmentBytes(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lst.Close()
+	url := newLeader(t, lst)
+	for i := 0; i < 3; i++ {
+		mutate(t, lst, i)
+	}
+
+	fst := store.New(nil)
+	f := replica.New(fst, url, replica.Options{PollInterval: 10 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := f.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	assertConverged(t, lst, fst)
+
+	// The follower parks; the leader moves on and a checkpoint trims the
+	// WAL below its new version, hard-gapping the parked resume point.
+	for i := 3; i < 8; i++ {
+		mutate(t, lst, i)
+	}
+	if err := lst.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if feed := lst.LogFeed(fst.Version(), 0); !feed.Gap {
+		t.Fatalf("leader did not hard-gap the parked follower: %+v", feed)
+	}
+
+	// The tailer's next poll hits the gap, re-bootstraps, and converges.
+	runCtx, stopRun := context.WithCancel(ctx)
+	done := make(chan struct{})
+	go func() { defer close(done); f.Run(runCtx) }()
+	deadline := time.Now().Add(20 * time.Second)
+	for fst.Version() != lst.Version() {
+		if time.Now().After(deadline) {
+			t.Fatalf("never reconverged after gap: follower %d leader %d (status %+v)", fst.Version(), lst.Version(), f.Status())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stopRun()
+	<-done
+	assertConverged(t, lst, fst)
+	st := f.Status()
+	if st.Bootstraps < 2 || st.GapResyncs < 1 {
+		t.Fatalf("gap status = %+v, want a re-bootstrap driven by a gap resync", st)
+	}
+}
+
+// TestFollowerDurableRestartResumes: a durable follower recovers its
+// applied state and resumes tailing from it — the conditional
+// checkpoint request skips the transfer when the leader's newest
+// checkpoint is not ahead.
+func TestFollowerDurableRestartResumes(t *testing.T) {
+	// The leader must be durable: its newest on-disk checkpoint stays at
+	// the boot version 0, so the restarting follower's conditional
+	// request can actually answer 204 (an in-memory leader always
+	// streams the live snapshot).
+	lst, err := store.Open(t.TempDir(), store.WithSeed(leaderGraph()), store.WithCheckpointEvery(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lst.Close()
+	url := newLeader(t, lst)
+	for i := 0; i < 4; i++ {
+		mutate(t, lst, i)
+	}
+
+	fdir := t.TempDir()
+	fst, err := store.Open(fdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := replica.New(fst, url, replica.Options{PollInterval: 10 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := f.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	assertConverged(t, lst, fst)
+	if err := fst.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Leader advances while the follower is down.
+	for i := 4; i < 6; i++ {
+		mutate(t, lst, i)
+	}
+
+	// Restart: recovered version resumes; no second checkpoint transfer
+	// is needed (the leader's newest checkpoint is version 0, behind the
+	// recovered 8 — the conditional request answers 204).
+	fst2, err := store.Open(fdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fst2.Close()
+	if fst2.Version() != 8 {
+		t.Fatalf("recovered follower version = %d, want 8", fst2.Version())
+	}
+	f2 := replica.New(fst2, url, replica.Options{PollInterval: 10 * time.Millisecond})
+	if err := f2.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	assertConverged(t, lst, fst2)
+	if st := f2.Status(); st.Bootstraps != 0 || st.UpdatesApplied != 4 {
+		t.Fatalf("restart status = %+v, want 4 updates applied with no transfer", st)
+	}
+}

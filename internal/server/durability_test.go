@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strconv"
 	"testing"
 	"time"
@@ -99,8 +100,46 @@ func TestLogFeedDisabled(t *testing.T) {
 
 // TestMutateDurabilityFaultIs500: a WAL append failure is the server's
 // storage fault, not the client's — the mutation must answer 500, not
-// 400, with the batch rolled back.
+// 400, with the batch rolled back. The fault is injected by removing
+// the data directory under a tiny-segment store: the next append must
+// rotate into a directory that no longer exists (works even as root,
+// unlike permission tricks).
 func TestMutateDurabilityFaultIs500(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.WithSeed(testGraph()), store.WithSegmentBytes(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	srv := New(st, nil)
+	ts := newHTTPServer(t, srv)
+
+	var mut MutationResponse
+	if code := post(t, ts, "/graph/edges", MutationRequest{Add: []EdgeSpec{{From: "p1", Label: "cites", To: "p2"}}}, &mut); code != http.StatusOK {
+		t.Fatalf("seed mutation status %d", code)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	code := post(t, ts, "/graph/edges", MutationRequest{Add: []EdgeSpec{{From: "p1", Label: "cites", To: "p2"}}}, &mut)
+	if code != http.StatusInternalServerError || mut.Error == "" {
+		t.Fatalf("status = %d, error = %q; want 500 with message", code, mut.Error)
+	}
+	if mut.Version != 1 || st.Version() != 1 {
+		t.Fatalf("failed append advanced the version: %+v / %d", mut, st.Version())
+	}
+	// A plain validation error is still the client's 400.
+	code = post(t, ts, "/graph/edges", MutationRequest{Add: []EdgeSpec{{From: "ghost", Label: "cites", To: "p2"}}}, &mut)
+	if code != http.StatusBadRequest {
+		t.Fatalf("validation error status = %d, want 400", code)
+	}
+}
+
+// TestMutateAfterCloseIs503 is the shutdown-race regression test: a
+// mutation arriving after graceful shutdown closed the store must get
+// the clean "try another node" 503 — not a 500 (it is not a storage
+// fault) and certainly not a torn WAL append or a panic.
+func TestMutateAfterCloseIs503(t *testing.T) {
 	dir := t.TempDir()
 	st, err := store.Open(dir, store.WithSeed(testGraph()))
 	if err != nil {
@@ -108,22 +147,21 @@ func TestMutateDurabilityFaultIs500(t *testing.T) {
 	}
 	srv := New(st, nil)
 	ts := newHTTPServer(t, srv)
-
-	// Kill the WAL out from under the store: the next commit's append
-	// fails.
-	st.Close()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
 	var mut MutationResponse
 	code := post(t, ts, "/graph/edges", MutationRequest{Add: []EdgeSpec{{From: "p1", Label: "cites", To: "p2"}}}, &mut)
-	if code != http.StatusInternalServerError || mut.Error == "" {
-		t.Fatalf("status = %d, error = %q; want 500 with message", code, mut.Error)
+	if code != http.StatusServiceUnavailable || mut.Error == "" {
+		t.Fatalf("post-close mutation: status = %d, error = %q; want 503 with message", code, mut.Error)
 	}
-	if mut.Version != 0 || st.Version() != 0 {
-		t.Fatalf("failed append advanced the version: %+v / %d", mut, st.Version())
+	if st.Version() != 0 {
+		t.Fatalf("post-close mutation advanced the version to %d", st.Version())
 	}
-	// A plain validation error is still the client's 400.
-	code = post(t, ts, "/graph/edges", MutationRequest{Add: []EdgeSpec{{From: "ghost", Label: "cites", To: "p2"}}}, &mut)
-	if code != http.StatusBadRequest {
-		t.Fatalf("validation error status = %d, want 400", code)
+	// Reads keep serving the last published version through the drain.
+	var health HealthzResponse
+	if code := get(t, ts, "/healthz", &health); code != http.StatusOK || health.Version != 0 {
+		t.Fatalf("post-close read: %d %+v", code, health)
 	}
 }
 

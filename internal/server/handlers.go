@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"sync"
@@ -13,6 +14,7 @@ import (
 	"relsim/internal/eval"
 	"relsim/internal/graph"
 	"relsim/internal/pattern"
+	"relsim/internal/replica"
 	"relsim/internal/rre"
 	"relsim/internal/sim"
 	"relsim/internal/store"
@@ -518,9 +520,20 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 // handleLog serves the replication catch-up feed: the committed update
 // records with version > ?since= (default 0), up to ?max= records per
 // page (default DefaultLogFeedPage, ceiling maxLogFeedPage). The
-// response signals a gap — records the bounded log has already
-// dropped — via the store.Feed contract; a follower seeing gap=true
-// must re-bootstrap instead of applying the page.
+// response signals a gap — records that have aged out of both the
+// bounded in-memory log and (on a durable store) the WAL — via the
+// store.Feed contract; a follower seeing gap=true must re-bootstrap
+// instead of applying the page.
+//
+// A ?since= beyond the live version is a 400 with code
+// "since_beyond_live", not an empty page: an empty 200 is the normal
+// "caught up" answer, and a follower that is somehow ahead of its
+// leader (a wiped leader data directory) must be able to tell the two
+// apart — silent emptiness would have it polling a diverged leader
+// forever. The page honors the server deadline (-timeout /
+// ?timeout_ms=) like every evaluation endpoint: a WAL-backed page reads
+// segments off disk, and a slow disk must not hold the connection past
+// the deadline (504 + timeout counter).
 func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
 	since := uint64(0)
 	if raw := r.URL.Query().Get("since"); raw != "" {
@@ -543,7 +556,81 @@ func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
 		}
 		max = v
 	}
-	s.writeJSON(w, http.StatusOK, s.st.LogFeed(since, max))
+	ctx, cancel, err := s.requestContext(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
+	// The version only grows, so validating against it up front stays
+	// valid for the page read below.
+	if live := s.st.Version(); since > live {
+		s.nErrors.Add(1)
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: fmt.Sprintf("since %d is beyond the live version %d", since, live),
+			Code:  "since_beyond_live",
+		})
+		return
+	}
+	feed, err := s.st.LogFeedContext(ctx, since, max)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.nTimeouts.Add(1)
+			s.writeError(w, http.StatusGatewayTimeout, err)
+		} else {
+			s.writeError(w, http.StatusServiceUnavailable, err)
+		}
+		return
+	}
+	s.writeJSON(w, http.StatusOK, feed)
+}
+
+// handleCheckpoint streams the newest checkpoint — the follower
+// bootstrap transfer. The body is the line-oriented graph
+// serialization; the X-Relsim-Checkpoint-Version header carries the
+// version it represents, and a follower Resets onto the pair and tails
+// /log from there. ?if_newer_than=v answers 204 without a body when the
+// newest checkpoint is at or below v (a durable follower restarting
+// with recovered state skips the transfer); ?fresh=1 forces a durable
+// store to checkpoint its live version first (an in-memory store always
+// streams the live snapshot).
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if raw := r.URL.Query().Get("fresh"); raw == "1" || raw == "true" {
+		if s.st.Durable() {
+			if err := s.st.Checkpoint(); err != nil {
+				s.writeError(w, http.StatusInternalServerError, err)
+				return
+			}
+		}
+	}
+	if raw := r.URL.Query().Get("if_newer_than"); raw != "" {
+		ifNewer, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("invalid if_newer_than %q", raw))
+			return
+		}
+		// Answer the conditional from the cheap version probe — before
+		// materializing the stream, which for an in-memory store would
+		// serialize the whole graph just to send an empty 204.
+		if v := s.st.CheckpointVersion(); v <= ifNewer {
+			w.Header().Set(replica.CheckpointVersionHeader, strconv.FormatUint(v, 10))
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+	}
+	rc, version, size, err := s.st.CheckpointReader()
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	defer rc.Close()
+	w.Header().Set(replica.CheckpointVersionHeader, strconv.FormatUint(version, 10))
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if size >= 0 {
+		w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+	}
+	w.WriteHeader(http.StatusOK)
+	io.Copy(w, rc)
 }
 
 // NodeSpec is one node to add.
@@ -584,6 +671,19 @@ type MutationResponse struct {
 
 func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	s.nMutate.Add(1)
+	if s.replica != nil {
+		// A follower's store is written only by the replication tailer;
+		// accepting a client mutation would fork it from the leader's
+		// history. 403 (not 405: the method is fine, the role is not)
+		// with the leader's address so clients can redirect themselves.
+		s.nErrors.Add(1)
+		s.writeJSON(w, http.StatusForbidden, errorResponse{
+			Error:  "read-only follower: send mutations to the leader",
+			Code:   "follower_read_only",
+			Leader: s.replica.Leader(),
+		})
+		return
+	}
 	var req MutationRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
@@ -629,8 +729,13 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		// Rolled back: no partial counts, no version bump. A durability
 		// fault (WAL append/fsync failed) is the server's storage, not the
 		// request — 500, so retry logic and 4xx/5xx alerting see it right.
+		// A store already closed by graceful shutdown is the expected
+		// drain race — 503, the "try another node" answer, never a 500.
 		status := http.StatusBadRequest
-		if errors.Is(err, store.ErrDurability) {
+		switch {
+		case errors.Is(err, store.ErrClosed):
+			status = http.StatusServiceUnavailable
+		case errors.Is(err, store.ErrDurability):
 			status = http.StatusInternalServerError
 		}
 		resp = MutationResponse{Version: s.st.Version(), Error: err.Error()}

@@ -5,8 +5,14 @@
 //	POST /batch        many queries, amortizing materialization across a worker pool
 //	POST /explain      instance-level provenance: why are u and v similar under p?
 //	POST /graph/edges  mutations: add nodes, add edges, remove edges
-//	GET  /healthz      liveness
+//	GET  /healthz      liveness + role (leader/follower) + follower readiness
 //	GET  /stats        store version, pinned-version spread, cache and request counters
+//	GET  /log          replication catch-up feed (in-memory log, WAL-backed past it)
+//	GET  /checkpoint   follower bootstrap transfer (newest checkpoint + its version)
+//
+// With WithFollower the server is a read replica: the read API serves
+// from the locally replicated store, mutations answer 403 naming the
+// leader, and /healthz + /stats expose replication lag.
 //
 // Every request pins exactly one immutable snapshot for its lifetime:
 // queries evaluate against that frozen version with zero lock cost and
@@ -40,6 +46,7 @@ import (
 	"relsim/internal/eval"
 	"relsim/internal/graph"
 	"relsim/internal/pattern"
+	"relsim/internal/replica"
 	"relsim/internal/rre"
 	"relsim/internal/schema"
 	"relsim/internal/sparse"
@@ -74,9 +81,18 @@ type Server struct {
 	timeout time.Duration // default per-request deadline; 0 = none
 	gate    sparse.Thresholds
 	plan    bool // workload-aware /batch planning + canonical cache keys
-	logFeed bool // expose GET /log (the replication catch-up feed)
+	logFeed bool // expose GET /log and /checkpoint (the replication surface)
 	mux     *http.ServeMux
 	start   time.Time
+
+	// replica, when set, puts the server in follower mode: the read API
+	// serves as usual from the local store, mutations answer 403
+	// pointing at the leader, and /healthz + /stats report replication
+	// lag. maxLag is the /healthz readiness bound in versions, maxLagAge
+	// the bound in wall time (each 0 = unbounded).
+	replica   Replication
+	maxLag    uint64
+	maxLagAge time.Duration
 
 	// expand memoizes Algorithm-1 expansions by input pattern string.
 	// The schema and generation options are fixed for the server's
@@ -162,13 +178,47 @@ func WithExpandCacheLimit(n int) Option {
 }
 
 // WithDurability toggles the durability surface: the GET /log
-// replication feed and the durability section of /stats. Default on;
-// turn it off when the update feed must not be reachable through this
-// listener. The feed works for in-memory stores too (it serves the
-// bounded update log); with a durable store (store.Open) it is the
-// catch-up primitive for a follower.
+// replication feed, the GET /checkpoint bootstrap transfer, and the
+// durability section of /stats. Default on; turn it off when the
+// replication surface must not be reachable through this listener. The
+// feed works for in-memory stores too (it serves the bounded update
+// log, and /checkpoint serializes the live snapshot); with a durable
+// store (store.Open) /log is additionally backed by the WAL, so a
+// follower can catch up past the in-memory retention window.
 func WithDurability(on bool) Option {
 	return func(s *Server) { s.logFeed = on }
+}
+
+// Replication is the view the server needs of a replication tailer —
+// satisfied by *replica.Follower. The indirection keeps the server
+// testable with a fake and the tailer free of HTTP-handler concerns.
+type Replication interface {
+	// Status reports current replication lag and sync counters.
+	Status() replica.Status
+	// Leader returns the leader's base URL (the 403 body points
+	// mutation traffic at it).
+	Leader() string
+}
+
+// WithFollower puts the server in follower (read-replica) mode, backed
+// by rep: mutations are rejected with 403 naming the leader, /healthz
+// reports role "follower" and turns unready (503) while replication
+// lag exceeds maxLag versions or maxLagAge of wall time (each 0 =
+// unbounded), and /stats grows a replication section. The two bounds
+// cover different failures: the version bound catches a follower that
+// cannot keep up with a live leader, while the time bound catches an
+// unreachable leader — lag-in-versions freezes at the last successful
+// poll, but lag-in-seconds keeps growing, so a partitioned replica
+// drops out of rotation instead of serving arbitrarily stale reads as
+// "ok". The read API — /search, /batch, /explain, /stats, and the
+// replication surface for chained followers — serves from the local
+// store as usual.
+func WithFollower(rep Replication, maxLag uint64, maxLagAge time.Duration) Option {
+	return func(s *Server) {
+		s.replica = rep
+		s.maxLag = maxLag
+		s.maxLagAge = maxLagAge
+	}
 }
 
 // expandEntry is one memoized Algorithm-1 expansion with its LRU tick.
@@ -214,6 +264,7 @@ func New(st *store.Store, sc *schema.Schema, opts ...Option) *Server {
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	if s.logFeed {
 		s.mux.HandleFunc("GET /log", s.handleLog)
+		s.mux.HandleFunc("GET /checkpoint", s.handleCheckpoint)
 	}
 	return s
 }
@@ -295,9 +346,15 @@ func (s *Server) requestContext(r *http.Request) (context.Context, context.Cance
 	return ctx, cancel, nil
 }
 
-// errorResponse is the uniform error body.
+// errorResponse is the uniform error body. Code, when set, is a stable
+// machine-readable discriminator for errors a client must tell apart
+// (a follower distinguishing "since beyond the live version" from a
+// malformed request); Leader points mutation traffic at the leader on
+// follower-mode 403s.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error  string `json:"error"`
+	Code   string `json:"code,omitempty"`
+	Leader string `json:"leader,omitempty"`
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
@@ -311,14 +368,38 @@ func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
 	s.writeJSON(w, status, errorResponse{Error: err.Error()})
 }
 
-// HealthzResponse is the GET /healthz body.
+// HealthzResponse is the GET /healthz body. Role is "leader" (the
+// default: a writable store) or "follower"; a follower additionally
+// reports its replication status, and the endpoint doubles as the
+// readiness probe — 503 with status "syncing" before the first
+// successful sync and "lagging" while lag exceeds the follower's
+// max-lag bound, so a load balancer stops routing reads to a replica
+// that has fallen too far behind.
 type HealthzResponse struct {
-	Status  string `json:"status"`
-	Version uint64 `json:"version"`
+	Status      string          `json:"status"`
+	Role        string          `json:"role"`
+	Version     uint64          `json:"version"`
+	Replication *replica.Status `json:"replication,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, HealthzResponse{Status: "ok", Version: s.st.Version()})
+	resp := HealthzResponse{Status: "ok", Role: "leader", Version: s.st.Version()}
+	status := http.StatusOK
+	if s.replica != nil {
+		rs := s.replica.Status()
+		resp.Role = "follower"
+		resp.Replication = &rs
+		switch {
+		case !rs.SyncedOnce:
+			resp.Status = "syncing"
+			status = http.StatusServiceUnavailable
+		case s.maxLag > 0 && rs.LagVersions > s.maxLag,
+			s.maxLagAge > 0 && rs.LagSeconds > s.maxLagAge.Seconds():
+			resp.Status = "lagging"
+			status = http.StatusServiceUnavailable
+		}
+	}
+	s.writeJSON(w, status, resp)
 }
 
 // WorkloadStats is the /stats view of /batch workload planning:
@@ -355,8 +436,11 @@ type StatsResponse struct {
 	Workload      WorkloadStats         `json:"workload"`
 	Durability    store.DurabilityStats `json:"durability"`
 	ExpandMemo    ExpandMemoStats       `json:"expand_memo"`
-	Requests      map[string]uint64     `json:"requests"`
-	UptimeSeconds float64               `json:"uptime_seconds"`
+	// Replication reports follower lag and sync counters; nil on a
+	// leader.
+	Replication   *replica.Status   `json:"replication,omitempty"`
+	Requests      map[string]uint64 `json:"requests"`
+	UptimeSeconds float64           `json:"uptime_seconds"`
 }
 
 // Stats assembles the /stats body (also used by the CLI's shutdown
@@ -377,6 +461,11 @@ func (s *Server) Stats() StatsResponse {
 	if s.logFeed {
 		dur = s.st.DurabilityStats()
 	}
+	var repl *replica.Status
+	if s.replica != nil {
+		rs := s.replica.Status()
+		repl = &rs
+	}
 	return StatsResponse{
 		Store:         s.st.Stats(),
 		Pins:          s.st.PinStats(),
@@ -390,8 +479,9 @@ func (s *Server) Stats() StatsResponse {
 			UnplannablePatterns:  s.nUnplannable.Load(),
 			ProductsMaterialized: s.nProducts.Load(),
 		},
-		Durability: dur,
-		ExpandMemo: memo,
+		Durability:  dur,
+		ExpandMemo:  memo,
+		Replication: repl,
 		Requests: map[string]uint64{
 			"search":    s.nSearch.Load(),
 			"batch":     s.nBatch.Load(),

@@ -14,9 +14,12 @@ package store
 // whole (all-or-nothing per Tx).
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -283,28 +286,164 @@ func Open(dir string, opts ...OpenOption) (*Store, error) {
 	return s, nil
 }
 
-// Close flushes and closes the durability layer (no-op for in-memory
-// stores). Idempotent. The store must not be mutated afterwards.
+// Close drains in-flight commits, marks the store closed — every later
+// Update fails fast with ErrClosed instead of racing the teardown — and
+// flushes and closes the durability layer. Idempotent. Taking writeMu
+// first means a mutation that already entered its commit path finishes
+// (and reaches the WAL) before the WAL is closed; a mutation arriving
+// after gets the clean ErrClosed, never a torn append or a panic.
 func (s *Store) Close() error {
-	if s.dur == nil {
+	s.writeMu.Lock()
+	already := s.closed.Swap(true)
+	s.writeMu.Unlock()
+	if already || s.dur == nil {
 		return nil
 	}
-	// Drain an in-flight background checkpoint (even one spawned but not
-	// yet running) so its file writes don't race the caller tearing the
-	// directory down. No new checkpoint can start: the contract forbids
-	// mutating after Close.
+	// Drain in-flight checkpoints so their file writes don't race the
+	// caller tearing the directory down: ckptWG covers background ones
+	// (even one spawned but not yet running), and cycling ckptMu waits
+	// out a synchronous Checkpoint()/CheckpointReader() caller that
+	// passed its closed check before we set the flag. No new checkpoint
+	// can start: checkpointNow re-checks closed under ckptMu.
 	s.dur.ckptWG.Wait()
+	s.dur.ckptMu.Lock()
+	s.dur.ckptMu.Unlock() //nolint:staticcheck // empty critical section = barrier
 	return s.dur.wal.Close()
 }
 
 // Checkpoint forces a graph checkpoint of the current version and trims
 // WAL history it makes redundant. Synchronous: it returns once the
-// checkpoint is durable.
+// checkpoint is durable. Refused with ErrClosed after Close — Close
+// promises no further writes to the directory, and a late checkpoint
+// would create files and trim segments under an operator tearing the
+// directory down.
 func (s *Store) Checkpoint() error {
 	if s.dur == nil {
 		return fmt.Errorf("store: not durable")
 	}
+	if s.closed.Load() {
+		return fmt.Errorf("store: %w", ErrClosed)
+	}
 	return s.checkpointNow(s.current.Load())
+}
+
+// CheckpointVersion returns the version a checkpoint transfer would
+// carry right now — the newest on-disk checkpoint's version for a
+// durable store, the live version for an in-memory one — without
+// materializing the stream. The cheap probe behind the conditional
+// GET /checkpoint?if_newer_than= answer.
+func (s *Store) CheckpointVersion() uint64 {
+	if d := s.dur; d != nil {
+		return d.lastCheckpoint.Load()
+	}
+	return s.current.Load().version
+}
+
+// walFeed assembles one replication-feed page from the write-ahead log:
+// the path for a follower whose resume point has aged out of the
+// bounded in-memory log. It reports whether the page is contiguous from
+// since; false means the WAL cannot bridge the range (checkpoint
+// trimming retired the needed segments, or the store is not durable)
+// and the caller must fall back to the hard-gap signal. live is the
+// published version captured before the scan: a WAL record past it may
+// belong to a commit that is still in flight — or one whose fsync
+// failed and is about to be rewound — so nothing beyond live is ever
+// served (a version a follower applies must be one the leader
+// published). Scan faults degrade to false, never to an error; the only
+// error surfaced is the context's.
+func (s *Store) walFeed(ctx context.Context, since uint64, max int, live uint64) (Feed, bool) {
+	d := s.dur
+	if d == nil || since >= live {
+		return Feed{Since: since, Version: live}, false
+	}
+	f := Feed{Since: since, Version: live}
+	next := since + 1
+	err := d.wal.ReadFrom(since, func(seq uint64, payload []byte) (bool, error) {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+		var ups []Update
+		if json.Unmarshal(payload, &ups) != nil {
+			return false, nil // unreadable batch: the contiguous prefix ends here
+		}
+		for _, u := range ups {
+			if u.Version < next {
+				continue // the batch started before the cut
+			}
+			if u.Version > next || u.Version > live {
+				// A hole (a segment trimmed mid-scan) or a record appended
+				// ahead of publication: the page ends here.
+				return false, nil
+			}
+			if max > 0 && len(f.Updates) >= max {
+				f.More = true
+				return false, nil
+			}
+			f.Updates = append(f.Updates, u)
+			next++
+		}
+		return next <= live, nil
+	})
+	if err != nil {
+		return f, false // context canceled; LogFeedContext surfaces it
+	}
+	if len(f.Updates) == 0 || f.Updates[0].Version != since+1 {
+		return f, false
+	}
+	return f, true
+}
+
+// CheckpointReader returns a stream of the newest checkpoint — the
+// bootstrap-transfer primitive behind GET /checkpoint. The stream is
+// the line-oriented graph serialization (graph.Read parses it) of the
+// returned version; a follower Resets onto it and tails the feed from
+// there. For a durable store the bytes come straight off the newest
+// on-disk checkpoint file (its version is exactly the WAL trim floor,
+// so checkpoint + feed is always contiguous); size is the exact byte
+// count, or -1 when unknown. For an in-memory store the current
+// snapshot is serialized on the spot. The caller must Close the reader.
+func (s *Store) CheckpointReader() (rc io.ReadCloser, version uint64, size int64, err error) {
+	d := s.dur
+	if d == nil {
+		cur := s.current.Load()
+		var buf bytes.Buffer
+		if err := graph.WriteView(&buf, cur.snap); err != nil {
+			return nil, 0, 0, fmt.Errorf("store: checkpoint stream: %w", err)
+		}
+		return io.NopCloser(bytes.NewReader(buf.Bytes())), cur.version, int64(buf.Len()), nil
+	}
+	for attempt := 0; ; attempt++ {
+		// Under ckptMu no concurrent checkpointer can retire the file
+		// between the listing and the open; once the fd is held the file
+		// may be unlinked freely (the stream keeps reading it).
+		d.ckptMu.Lock()
+		cs := listCheckpoints(d.dir)
+		if len(cs) > 0 {
+			f, oerr := os.Open(cs[0].path)
+			if oerr == nil {
+				size := int64(-1)
+				if info, serr := f.Stat(); serr == nil {
+					size = info.Size()
+				}
+				d.ckptMu.Unlock()
+				return f, cs[0].version, size, nil
+			}
+			d.ckptMu.Unlock()
+			if attempt > 0 {
+				return nil, 0, 0, fmt.Errorf("store: checkpoint stream: %w", oerr)
+			}
+		} else {
+			d.ckptMu.Unlock()
+			if attempt > 0 {
+				return nil, 0, 0, fmt.Errorf("store: no readable checkpoint")
+			}
+		}
+		// No readable checkpoint (a fresh-directory write failed earlier,
+		// or the file vanished under us): write one now and retry once.
+		if cerr := s.Checkpoint(); cerr != nil {
+			return nil, 0, 0, cerr
+		}
+	}
 }
 
 // appendBatch writes one committed batch to the WAL, durable per the
@@ -352,6 +491,12 @@ func (s *Store) checkpointNow(v *versioned) error {
 	d := s.dur
 	d.ckptMu.Lock()
 	defer d.ckptMu.Unlock()
+	// Re-checked under ckptMu — the lock Close cycles after setting the
+	// flag — so a caller that passed an earlier closed check can never
+	// create files or trim segments after Close returned.
+	if s.closed.Load() {
+		return fmt.Errorf("store: %w", ErrClosed)
+	}
 	if v.version < d.lastCheckpoint.Load() {
 		return nil
 	}

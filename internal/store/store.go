@@ -22,6 +22,8 @@
 package store
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -29,6 +31,12 @@ import (
 
 	"relsim/internal/graph"
 )
+
+// ErrClosed marks a mutation refused because the store has been closed
+// (graceful shutdown already ran). It is a clean, expected condition —
+// the server maps it to 503 — unlike ErrDurability, which is a storage
+// fault on a live store. Test with errors.Is.
+var ErrClosed = errors.New("store is closed")
 
 // Op discriminates update-log records.
 type Op string
@@ -88,6 +96,11 @@ type Store struct {
 	// dur is the durability layer (write-ahead log + checkpoints); nil
 	// for a purely in-memory store built with New.
 	dur *durable
+
+	// closed is set by Close under writeMu: every later write
+	// transaction fails fast with ErrClosed instead of racing the WAL
+	// teardown into a 500 or a panic.
+	closed atomic.Bool
 }
 
 // New wraps g in a store at version 0. The snapshot is taken eagerly;
@@ -264,11 +277,52 @@ type Feed struct {
 // versioned individually; a follower resumes from the last version it
 // received.
 func (s *Store) LogFeed(since uint64, max int) Feed {
+	f, _ := s.LogFeedContext(context.Background(), since, max)
+	return f
+}
+
+// LogFeedContext is LogFeed honoring a deadline. A page the in-memory
+// bounded log can serve contiguously comes from memory; when since has
+// aged out of it (since < logDropped) and the store is durable, the
+// page is read back from the WAL instead — so a follower that was
+// partitioned longer than the in-memory retention catches up from disk
+// rather than re-bootstrapping, as long as checkpoint trimming has not
+// retired the segments it needs. Only when the WAL cannot bridge the
+// range contiguously does the feed report a (now hard) gap. The
+// returned error is only ever the context's: WAL read faults degrade to
+// the gap signal, never to a failed page.
+func (s *Store) LogFeedContext(ctx context.Context, since uint64, max int) (Feed, error) {
+	if err := ctx.Err(); err != nil {
+		return Feed{Since: since}, err
+	}
+	mem, ok := s.memFeed(since, max)
+	if ok {
+		return mem, nil
+	}
+	// The in-memory log has dropped records the page needs; read them
+	// back from the WAL. No store lock is held during the file scan, so
+	// a slow disk page never blocks commits.
+	live := s.Version()
+	if f, ok := s.walFeed(ctx, since, max, live); ok {
+		return f, nil
+	} else if err := ctx.Err(); err != nil {
+		return f, err
+	}
+	// The WAL could not bridge (since+1 trimmed by a checkpoint, or no
+	// durability layer at all): hard gap. Serve the already-built
+	// retained-tail page with its gap signal, exactly like the
+	// pre-WAL-backed feed.
+	return mem, nil
+}
+
+// memFeed builds a feed page from the bounded in-memory log, reporting
+// whether the page is contiguous from since (no gap). The version is
+// read inside the critical section commits publish under, so the
+// reported version is never older than the page's last update (the
+// follower's caught-up check relies on that ordering).
+func (s *Store) memFeed(since uint64, max int) (Feed, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	// Read the version inside the critical section commits publish
-	// under, so the reported version is never older than the page's last
-	// update (the follower's caught-up check relies on that ordering).
 	live := s.current.Load().version
 	f := Feed{Since: since, Version: live, DroppedThrough: s.logDropped, Gap: since < s.logDropped}
 	for _, u := range s.log {
@@ -281,7 +335,7 @@ func (s *Store) LogFeed(since uint64, max int) Feed {
 		}
 		f.Updates = append(f.Updates, u)
 	}
-	return f
+	return f, !f.Gap
 }
 
 // SetLogRetention bounds the in-memory update log to n records,
@@ -358,6 +412,28 @@ func (tx *Tx) RemoveEdge(u graph.NodeID, label string, v graph.NodeID) error {
 	return nil
 }
 
+// Apply replays one logged update into the transaction — the single
+// op-dispatch shared by every feed consumer (a follower applying a
+// replication page uses it verbatim). Node ids must land exactly where
+// the log says (ids are dense and assigned in order, so same-order
+// replay is deterministic); version continuity across updates is the
+// caller's check, since only the caller knows what stream it is
+// applying.
+func (tx *Tx) Apply(u Update) error {
+	switch u.Op {
+	case OpAddNode:
+		if id := tx.AddNode(u.Name, u.Type); id != u.Node {
+			return fmt.Errorf("store: applied node id %d, log says %d", id, u.Node)
+		}
+		return nil
+	case OpAddEdge:
+		return tx.AddEdge(u.Edge.From, u.Edge.Label, u.Edge.To)
+	case OpRemoveEdge:
+		return tx.RemoveEdge(u.Edge.From, u.Edge.Label, u.Edge.To)
+	}
+	return fmt.Errorf("store: unknown op %q", u.Op)
+}
+
 // Version returns the version the transaction commits at: the base
 // version plus the mutations recorded so far. If the transaction's
 // callback returns an error nothing commits and the store stays at the
@@ -382,6 +458,12 @@ func (tx *Tx) record(u Update) {
 func (s *Store) Update(fn func(tx *Tx) error) error {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
+	// Checked under writeMu, the same lock Close sets it under: a
+	// mutation either fully commits before Close proceeds or fails fast
+	// here — it can never race the WAL teardown into a torn append.
+	if s.closed.Load() {
+		return fmt.Errorf("store: %w", ErrClosed)
+	}
 	cur := s.current.Load()
 	tx := &Tx{b: graph.NewBuilder(cur.snap), base: cur.version}
 	if err := fn(tx); err != nil {
@@ -427,6 +509,47 @@ func (s *Store) trimLogLocked() {
 		s.logDropped = s.log[over-1].Version
 		s.log = append(s.log[:0:0], s.log[over:]...)
 	}
+}
+
+// Reset replaces the store's entire state with g at version — the
+// follower-bootstrap primitive. A replica that finds a gap in the
+// leader's feed fetches a checkpoint and Resets onto it, then resumes
+// tailing from version. The version may only move forward (equal is
+// allowed: re-bootstrapping onto the version already held is a no-op
+// graph-wise on a same-lineage leader). The in-memory update log is
+// cleared and the gap watermark set to version — records at or below it
+// were never applied here and must not be served contiguously. On a
+// durable store the new state is checkpointed before it is published
+// (the same durability-before-visibility discipline commits follow), so
+// a restart recovers the bootstrapped state, not the pre-gap one.
+// The OnUpdate observer does not run: there is no mutation batch, and
+// version-keyed caches stay correct because no previously-seen version
+// changes meaning.
+func (s *Store) Reset(g *graph.Graph, version uint64) error {
+	if g == nil {
+		g = graph.New()
+	}
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	if s.closed.Load() {
+		return fmt.Errorf("store: %w", ErrClosed)
+	}
+	cur := s.current.Load()
+	if version < cur.version {
+		return fmt.Errorf("store: reset to version %d would move backwards (live %d)", version, cur.version)
+	}
+	next := &versioned{snap: g.Snapshot(), version: version}
+	if s.dur != nil {
+		if err := s.checkpointNow(next); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	s.current.Store(next)
+	s.log = nil
+	s.logDropped = version
+	s.mu.Unlock()
+	return nil
 }
 
 // AddNode adds a single node outside a batch.

@@ -25,6 +25,7 @@
 package wal
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -504,6 +505,91 @@ func (l *Log) Replay(after uint64, fn func(seq uint64, payload []byte) error) er
 			}
 			off += headerSize + int64(length)
 		}
+	}
+	return nil
+}
+
+// ReadFrom calls fn for records with sequence number > after, in order,
+// while the log may still be appending — the live-replication read path
+// (a WAL-backed GET /log page), as opposed to Replay's boot path.
+// Records are streamed through a small buffer (never a whole-segment
+// slurp: a catching-up follower pages through segments repeatedly, and
+// this runs on the leader's serving path), with payloads of
+// already-consumed records skipped without checksumming. It is
+// deliberately tolerant: an invalid record (a torn or in-progress tail
+// append, a checksum mismatch) ends the scan silently instead of
+// erroring, because on a live log the writer may be mid-Write on the
+// active segment, and everything before the tear is still a valid
+// prefix. A segment trimmed away between the listing and the open is
+// skipped; callers must therefore verify contiguity of what they were
+// handed (the store checks update-version continuity). fn returns
+// whether to continue; returning an error aborts the scan with it. The
+// payload slice is only valid during the call.
+func (l *Log) ReadFrom(after uint64, fn func(seq uint64, payload []byte) (bool, error)) error {
+	l.mu.Lock()
+	segs := append([]segment(nil), l.segs...)
+	l.mu.Unlock()
+	var hdr [headerSize]byte
+	var payload []byte
+	for i, seg := range segs {
+		// Segments are named by their first sequence number, so one whose
+		// successor starts at or below the cutoff holds nothing to read.
+		if i+1 < len(segs) && segs[i+1].first <= after+1 {
+			continue
+		}
+		f, err := os.Open(seg.path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // trimmed concurrently; contiguity is the caller's check
+			}
+			return fmt.Errorf("wal: %w", err)
+		}
+		br := bufio.NewReaderSize(f, 64<<10)
+		for {
+			if _, err := io.ReadFull(br, hdr[:]); err != nil {
+				if err == io.EOF {
+					break // clean segment end: move to the next one
+				}
+				f.Close()
+				return nil // partial header: the valid prefix ends here
+			}
+			length := binary.LittleEndian.Uint32(hdr[0:])
+			seq := binary.LittleEndian.Uint64(hdr[4:])
+			sum := binary.LittleEndian.Uint32(hdr[12:])
+			if length > maxRecordBytes {
+				f.Close()
+				return nil // implausible length: torn
+			}
+			if seq <= after {
+				if _, err := br.Discard(int(length)); err != nil {
+					f.Close()
+					return nil // torn payload
+				}
+				continue
+			}
+			if cap(payload) < int(length) {
+				payload = make([]byte, length)
+			}
+			payload = payload[:length]
+			if _, err := io.ReadFull(br, payload); err != nil {
+				f.Close()
+				return nil // torn payload
+			}
+			if crcRecord(seq, payload) != sum {
+				f.Close()
+				return nil
+			}
+			more, err := fn(seq, payload)
+			if err != nil {
+				f.Close()
+				return err
+			}
+			if !more {
+				f.Close()
+				return nil
+			}
+		}
+		f.Close()
 	}
 	return nil
 }

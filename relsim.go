@@ -33,6 +33,7 @@ import (
 	"relsim/internal/graph"
 	"relsim/internal/mapping"
 	"relsim/internal/pattern"
+	"relsim/internal/replica"
 	"relsim/internal/rre"
 	"relsim/internal/schema"
 	"relsim/internal/server"
@@ -92,6 +93,16 @@ type (
 	DurabilityStats = store.DurabilityStats
 	// SyncPolicy selects when WAL appends reach stable storage.
 	SyncPolicy = wal.SyncPolicy
+	// Follower tails a leader's replication feed into a local Store —
+	// checkpoint bootstrap, contiguous /log pages, automatic
+	// re-bootstrap on gap (see NewFollower).
+	Follower = replica.Follower
+	// FollowerOptions configures a Follower (poll cadence, page size,
+	// backoff cap, HTTP client).
+	FollowerOptions = replica.Options
+	// ReplicationStatus is a point-in-time view of a follower's lag and
+	// sync counters.
+	ReplicationStatus = replica.Status
 	// Server is the HTTP/JSON query service over a Store.
 	Server = server.Server
 	// ServerOption configures NewServer.
@@ -148,6 +159,33 @@ func WithStoreSyncInterval(d time.Duration) StoreOpenOption { return store.WithS
 // WithStoreCheckpointEvery checkpoints the graph every n committed
 // versions; 0 disables periodic checkpoints.
 func WithStoreCheckpointEvery(n uint64) StoreOpenOption { return store.WithCheckpointEvery(n) }
+
+// WithStoreSegmentBytes sets the WAL segment rotation bound; smaller
+// segments let checkpoints trim history at finer granularity.
+func WithStoreSegmentBytes(n int64) StoreOpenOption { return store.WithSegmentBytes(n) }
+
+// WithStoreLogRetention bounds the in-memory replication feed to n
+// records; a durable store serves older pages from the WAL.
+func WithStoreLogRetention(n int) StoreOpenOption { return store.WithLogRetention(n) }
+
+// NewFollower builds a replication tailer that follows the leader
+// relsim-serve instance at leaderURL into st: Start performs the
+// initial checkpoint bootstrap + catch-up, Run keeps tailing, and a
+// feed gap triggers an automatic re-bootstrap. Pair it with
+// WithServerFollower to serve the replica read-only.
+func NewFollower(st *Store, leaderURL string, opt FollowerOptions) *Follower {
+	return replica.New(st, leaderURL, opt)
+}
+
+// WithServerFollower puts the server in read-replica mode backed by f:
+// mutations answer 403 naming the leader, /healthz reports the
+// follower role and turns 503 while lag exceeds maxLag versions or
+// maxLagAge of wall time (each 0 = unbounded; the time bound is what
+// catches an unreachable leader, whose version lag freezes at the last
+// successful poll), and /stats grows a replication section.
+func WithServerFollower(f *Follower, maxLag uint64, maxLagAge time.Duration) ServerOption {
+	return server.WithFollower(f, maxLag, maxLagAge)
+}
 
 // NewServer builds the HTTP/JSON query service over st. The schema may
 // be nil (no Algorithm-1 expansion constraints). Mount the result on any
