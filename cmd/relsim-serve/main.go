@@ -92,7 +92,15 @@ func run(args []string) error {
 	pollInterval := fs.Duration("poll-interval", replica.DefaultPollInterval, "follower: feed poll cadence while caught up")
 	maxLag := fs.Uint64("max-lag", 0, "follower: /healthz turns 503 while replication lag exceeds this many versions (0 = unbounded)")
 	maxLagAge := fs.Duration("max-lag-age", 0, "follower: /healthz turns 503 while behind for longer than this (0 = unbounded; catches an unreachable leader, whose version lag freezes)")
+	slowQuery := fs.Duration("slow-query", 250*time.Millisecond, "slow-query log threshold: requests slower than this are captured into GET /debug/queries (0 = disabled)")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default: profiles expose process memory)")
+	logFormat := fs.String("log-format", "text", "access-log format, one line per request to stderr: text or json")
 	fs.Parse(args)
+
+	accessJSON, err := parseLogFormat(*logFormat)
+	if err != nil {
+		return err
+	}
 
 	if *follow != "" {
 		return runFollower(followerConfig{
@@ -103,6 +111,7 @@ func run(args []string) error {
 			checkpointEvery: *checkpointEvery, segmentBytes: *segmentBytes, logRetention: *logRetention,
 			pollInterval: *pollInterval, maxLag: *maxLag, maxLagAge: *maxLagAge,
 			dataset: *dataset, in: *in,
+			slowQuery: *slowQuery, pprof: *pprofOn, accessJSON: accessJSON,
 		})
 	}
 
@@ -144,11 +153,14 @@ func run(args []string) error {
 		server.WithTimeout(*timeout),
 		server.WithParallelThresholds(sparse.Thresholds{MinDim: *minDim, MinNNZ: *minNNZ}),
 		server.WithWorkloadPlanning(*workloadPlan),
+		server.WithSlowQuery(*slowQuery),
+		server.WithPprof(*pprofOn),
+		server.WithAccessLog(os.Stderr, accessJSON),
 	)
 
 	stats := st.Stats()
-	log.Printf("serving %d nodes, %d edges, labels %v on %s (MVCC snapshot isolation, timeout %v, workload planning %v, durable %v)",
-		stats.Nodes, stats.Edges, stats.Labels, *addr, *timeout, *workloadPlan, st.Durable())
+	log.Printf("serving %d nodes, %d edges, labels %v on %s (MVCC snapshot isolation, timeout %v, workload planning %v, durable %v, slow-query %v, pprof %v)",
+		stats.Nodes, stats.Edges, stats.Labels, *addr, *timeout, *workloadPlan, st.Durable(), *slowQuery, *pprofOn)
 
 	return serve(srv, st, *addr, *drain, nil, nil)
 }
@@ -216,6 +228,21 @@ type followerConfig struct {
 	maxLag                   uint64
 	maxLagAge                time.Duration
 	dataset, in              string
+	slowQuery                time.Duration
+	pprof                    bool
+	accessJSON               bool
+}
+
+// parseLogFormat validates -log-format and reports whether the access
+// log should be JSON.
+func parseLogFormat(v string) (bool, error) {
+	switch v {
+	case "text":
+		return false, nil
+	case "json":
+		return true, nil
+	}
+	return false, fmt.Errorf("invalid -log-format %q (want text or json)", v)
 }
 
 // runFollower boots a read replica: build the (optionally durable)
@@ -312,6 +339,9 @@ func runFollower(cfg followerConfig) error {
 		server.WithParallelThresholds(cfg.gate),
 		server.WithWorkloadPlanning(cfg.plan),
 		server.WithFollower(f, cfg.maxLag, cfg.maxLagAge),
+		server.WithSlowQuery(cfg.slowQuery),
+		server.WithPprof(cfg.pprof),
+		server.WithAccessLog(os.Stderr, cfg.accessJSON),
 	)
 
 	stats := st.Stats()

@@ -18,6 +18,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/exec"
@@ -25,6 +26,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"relsim/internal/telemetry"
 )
 
 // leaderReplFlags shape the leader so replication edge paths trigger at
@@ -67,6 +70,30 @@ func waitConverged(t *testing.T, leaderAddr, followerAddr string) uint64 {
 			t.Fatalf("follower never converged: leader %d, follower %d", lv, fv)
 		}
 		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// scrapeMetrics fetches a node's /metrics, lint-checks the Prometheus
+// exposition, and requires every named family to carry samples.
+func scrapeMetrics(t *testing.T, node, base string, families ...string) {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("%s /metrics: %v", node, err)
+	}
+	body, readErr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if readErr != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s /metrics: status %d, err %v", node, resp.StatusCode, readErr)
+	}
+	fams, err := telemetry.Lint(body)
+	if err != nil {
+		t.Fatalf("%s /metrics exposition invalid: %v", node, err)
+	}
+	for _, name := range families {
+		if !fams[name] {
+			t.Errorf("%s /metrics missing family %s", node, name)
+		}
 	}
 }
 
@@ -138,6 +165,35 @@ func TestReplicationEndToEnd(t *testing.T) {
 	if err != nil || resp.StatusCode != http.StatusForbidden || reject.Code != "follower_read_only" || reject.Leader != leaderBase {
 		t.Fatalf("follower mutation: status %d, body %+v, err %v", resp.StatusCode, reject, err)
 	}
+
+	// Mid-storm telemetry: with a mutation storm in flight against the
+	// leader and the follower tailing it, both nodes must serve valid
+	// Prometheus expositions carrying their layer's series — HTTP and
+	// store+WAL families on the durable leader, replica families on the
+	// follower.
+	scrapeStorm := make(chan struct{})
+	go func() {
+		defer close(scrapeStorm)
+		storm(t, leaderBase, 500, 6)
+	}()
+	scrapeMetrics(t, "leader", leaderBase,
+		"relsim_http_requests_total", "relsim_http_request_seconds",
+		"relsim_http_in_flight_requests",
+		"relsim_store_commits_total", "relsim_store_commit_seconds",
+		"relsim_store_version",
+		"relsim_wal_appended_bytes_total", "relsim_wal_fsync_seconds",
+		"relsim_wal_records_total", "relsim_wal_segments",
+		"relsim_eval_products_total", "relsim_uptime_seconds",
+	)
+	scrapeMetrics(t, "follower", followerBase,
+		"relsim_http_requests_total", "relsim_http_request_seconds",
+		"relsim_replica_lag_versions", "relsim_replica_synced",
+		"relsim_replica_bootstraps_total", "relsim_replica_updates_applied_total",
+		"relsim_replica_leader_version",
+		"relsim_wal_appended_bytes_total", // follower is durable: applied updates hit its own WAL
+	)
+	<-scrapeStorm
+	waitConverged(t, leaderAddr, followerAddr)
 
 	// Induced log gap: park the follower (SIGSTOP — the process is
 	// alive, just not polling), push the leader far past the in-memory

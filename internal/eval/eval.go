@@ -25,6 +25,7 @@ package eval
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 
 	"relsim/internal/graph"
 	"relsim/internal/rre"
@@ -52,11 +53,27 @@ type Evaluator struct {
 	cache   *Cache
 	ctx     context.Context // nil = never canceled
 
+	// counters tallies this evaluator's own cache traffic and matrix
+	// products — per-request observability, as opposed to the shared
+	// Cache.Stats totals. WithContext copies share the struct, so a
+	// request's whole evaluation (including /batch worker copies) lands
+	// in one place.
+	counters *Counters
+
 	mu         sync.Mutex
 	noPlanning bool
 	canonical  bool
 	gate       sparse.Thresholds
 	mulHook    func(a, b *sparse.Matrix)
+}
+
+// Counters are one evaluator's private tallies: cache hits and misses
+// its lookups saw, and matrix products it performed. The serving layer
+// reads them per request for the slow-query log and Server-Timing
+// phase attribution. Fields are atomics — /batch shares one evaluator
+// across its worker pool.
+type Counters struct {
+	Hits, Misses, Products atomic.Uint64
 }
 
 // New returns an evaluator over g at version 0 with a private cache.
@@ -70,7 +87,7 @@ func NewVersioned(g graph.View, version uint64, cache *Cache) *Evaluator {
 	if cache == nil {
 		cache = NewCache()
 	}
-	return &Evaluator{g: g, version: version, cache: cache, gate: sparse.DefaultThresholds()}
+	return &Evaluator{g: g, version: version, cache: cache, counters: &Counters{}, gate: sparse.DefaultThresholds()}
 }
 
 // WithContext returns a copy of the evaluator whose evaluations honor
@@ -85,12 +102,18 @@ func (e *Evaluator) WithContext(ctx context.Context) *Evaluator {
 		version:    e.version,
 		cache:      e.cache,
 		ctx:        ctx,
+		counters:   e.counters,
 		noPlanning: e.noPlanning,
 		canonical:  e.canonical,
 		gate:       e.gate,
 		mulHook:    e.mulHook,
 	}
 }
+
+// Counters returns the evaluator's private tally of cache hits/misses
+// and matrix products. The struct is shared with WithContext copies and
+// lives for the evaluator's lifetime.
+func (e *Evaluator) Counters() *Counters { return e.counters }
 
 // Graph returns the underlying graph view.
 func (e *Evaluator) Graph() graph.View { return e.g }
@@ -183,6 +206,7 @@ func (e *Evaluator) mul(a, b *sparse.Matrix) *sparse.Matrix {
 	if hook != nil {
 		hook(a, b)
 	}
+	e.counters.Products.Add(1)
 	return a.MulThresh(b, gate)
 }
 
@@ -237,8 +261,10 @@ func (e *Evaluator) commuting(p *rre.Pattern) *sparse.Matrix {
 	key := Key{Version: e.version, Pattern: p.String()}
 	m, gen, ok := e.cache.lookup(key)
 	if ok {
+		e.counters.Hits.Add(1)
 		return m
 	}
+	e.counters.Misses.Add(1)
 	// Recompute outside any lock. If an invalidation runs while we
 	// compute, the matrix may reflect a graph state that is already
 	// stale: return it to this caller (the read raced the write

@@ -33,6 +33,7 @@ import (
 
 	"relsim/internal/graph"
 	"relsim/internal/store"
+	"relsim/internal/telemetry"
 )
 
 // CheckpointVersionHeader carries the checkpoint's version on
@@ -130,6 +131,48 @@ func New(st *store.Store, leaderURL string, opt Options) *Follower {
 // Leader returns the leader's base URL (the server's 403 body points
 // mutation traffic at it).
 func (f *Follower) Leader() string { return f.leader }
+
+// Instrument registers the follower's replication metrics with reg as
+// scrape-time callbacks over Status(): lag in versions and seconds,
+// sync state, and the cumulative apply/error counters. A nil registry
+// is a no-op.
+func (f *Follower) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("relsim_replica_lag_versions",
+		"Versions the follower trails the leader (as of the last poll).",
+		func() float64 { return float64(f.Status().LagVersions) })
+	reg.GaugeFunc("relsim_replica_lag_seconds",
+		"How long the follower has continuously been behind; grows while the leader is unreachable.",
+		func() float64 { return f.Status().LagSeconds })
+	reg.GaugeFunc("relsim_replica_synced",
+		"1 after the first successful sync, 0 before.",
+		func() float64 {
+			if f.Status().SyncedOnce {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("relsim_replica_leader_version",
+		"Leader version as of the last successful poll.",
+		func() float64 { return float64(f.Status().LeaderVersion) })
+	reg.CounterFunc("relsim_replica_bootstraps_total",
+		"Checkpoint bootstraps performed.",
+		func() float64 { return float64(f.Status().Bootstraps) })
+	reg.CounterFunc("relsim_replica_gap_resyncs_total",
+		"Re-bootstraps forced by a feed gap.",
+		func() float64 { return float64(f.Status().GapResyncs) })
+	reg.CounterFunc("relsim_replica_pages_applied_total",
+		"Feed pages applied.",
+		func() float64 { return float64(f.Status().PagesApplied) })
+	reg.CounterFunc("relsim_replica_updates_applied_total",
+		"Individual updates applied.",
+		func() float64 { return float64(f.Status().UpdatesApplied) })
+	reg.CounterFunc("relsim_replica_errors_total",
+		"Replication errors (leader unreachable, malformed pages).",
+		func() float64 { return float64(f.Status().Errors) })
+}
 
 // Store returns the store the follower applies into.
 func (f *Follower) Store() *store.Store { return f.st }

@@ -56,8 +56,10 @@ const defaultTop = 10
 // runSearch answers one query against the evaluator's pinned snapshot.
 // The snapshot is immutable, so the evaluation sees one consistent
 // graph version however long it runs and however many writes land
-// meanwhile.
-func (s *Server) runSearch(ev *eval.Evaluator, req *SearchRequest) (*SearchResponse, error) {
+// meanwhile. tr records phase spans (expand, score) when the request is
+// traced; /batch workers pass nil — the batch traces its phases at
+// batch granularity instead.
+func (s *Server) runSearch(ev *eval.Evaluator, req *SearchRequest, tr *Trace) (*SearchResponse, error) {
 	g := ev.Graph()
 	q, ok := resolveNode(g, req.Query)
 	if !ok {
@@ -81,17 +83,24 @@ func (s *Server) runSearch(ev *eval.Evaluator, req *SearchRequest) (*SearchRespo
 		rank     sim.Ranking
 		expanded int
 	)
-	switch alg {
-	case "rwr":
-		rank = sim.RWR(ev, sim.DefaultRWR(), q, candidates)
-	case "simrank":
-		rank = sim.SimRankMC(ev, sim.DefaultSimRank(), q, candidates)
-	default:
-		ps, wasExpanded, err := s.queryPatterns(req)
+	var ps []*rre.Pattern
+	var wasExpanded bool
+	if alg != "rwr" && alg != "simrank" {
+		end := tr.Phase("expand")
+		var err error
+		ps, wasExpanded, err = s.queryPatterns(req)
+		end()
 		if err != nil {
 			return nil, err
 		}
+	}
+	err := func() error {
+		defer tr.Phase("score")()
 		switch alg {
+		case "rwr":
+			rank = sim.RWR(ev, sim.DefaultRWR(), q, candidates)
+		case "simrank":
+			rank = sim.SimRankMC(ev, sim.DefaultSimRank(), q, candidates)
 		case "search":
 			if wasExpanded {
 				expanded = len(ps)
@@ -100,15 +109,20 @@ func (s *Server) runSearch(ev *eval.Evaluator, req *SearchRequest) (*SearchRespo
 		case "relsim":
 			rank = sim.RelSim(ev, ps[0], q, candidates)
 		case "pathsim":
+			var err error
 			rank, err = sim.PathSim(ev, ps[0], q, candidates)
 			if err != nil {
-				return nil, err
+				return err
 			}
 		case "hetesim":
 			rank = sim.HeteSimRRE(ev, ps[0], q, candidates)
 		default:
-			return nil, fmt.Errorf("unknown alg %q", alg)
+			return fmt.Errorf("unknown alg %q", alg)
 		}
+		return nil
+	}()
+	if err != nil {
+		return nil, err
 	}
 
 	top := req.Top
@@ -133,17 +147,16 @@ func (s *Server) runSearch(ev *eval.Evaluator, req *SearchRequest) (*SearchRespo
 
 // guardedSearch runs one search converting evaluation cancellation into
 // an error.
-func (s *Server) guardedSearch(ev *eval.Evaluator, req *SearchRequest) (resp *SearchResponse, err error) {
+func (s *Server) guardedSearch(ev *eval.Evaluator, req *SearchRequest, tr *Trace) (resp *SearchResponse, err error) {
 	err = eval.Guard(func() error {
 		var inner error
-		resp, inner = s.runSearch(ev, req)
+		resp, inner = s.runSearch(ev, req, tr)
 		return inner
 	})
 	return resp, err
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
-	s.nSearch.Add(1)
 	var req SearchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
@@ -162,7 +175,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	defer pin.Release()
 	ev := s.evaluator(pin.Snapshot(), pin.Version()).WithContext(ctx)
 
-	resp, err := s.guardedSearch(ev, &req)
+	tr := traceFrom(r.Context())
+	tr.SetQuery(req.Pattern, req.Query, req.Alg)
+	tr.SetVersion(pin.Version())
+	resp, err := s.guardedSearch(ev, &req, tr)
+	tr.SetEval(ev.Counters())
 	if err != nil {
 		if !s.writeIfCanceled(w, err) {
 			s.writeError(w, http.StatusBadRequest, err)
@@ -173,17 +190,16 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 }
 
 // writeIfCanceled writes the HTTP mapping of an evaluation
-// cancellation — 504 for a server-side deadline (counted as a timeout),
-// 503 for a plain cancellation (typically the client went away) — and
-// reports whether err was one. Every guarded evaluation surface
-// (/search, /batch, /explain) shares this mapping.
+// cancellation — 504 for a server-side deadline (the middleware counts
+// the status as a timeout), 503 for a plain cancellation (typically the
+// client went away) — and reports whether err was one. Every guarded
+// evaluation surface (/search, /batch, /explain) shares this mapping.
 func (s *Server) writeIfCanceled(w http.ResponseWriter, err error) bool {
 	var c *eval.Canceled
 	if !errors.As(err, &c) {
 		return false
 	}
 	if errors.Is(c.Err, context.DeadlineExceeded) {
-		s.nTimeouts.Add(1)
 		s.writeError(w, http.StatusGatewayTimeout, err)
 	} else {
 		s.writeError(w, http.StatusServiceUnavailable, err)
@@ -230,7 +246,6 @@ type BatchResponse struct {
 // reports. With planning off, the pre-PR-3 sequential materialization
 // pass runs instead (the differential-test baseline).
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	s.nBatch.Add(1)
 	var req BatchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
@@ -258,11 +273,22 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	defer pin.Release()
 	ev := s.evaluator(pin.Snapshot(), pin.Version()).WithContext(ctx)
 
+	tr := traceFrom(r.Context())
+	tr.SetBatch(len(req.Queries))
+	tr.SetVersion(pin.Version())
+
 	resp := BatchResponse{Version: pin.Version(), Results: make([]BatchResult, len(req.Queries))}
+	endExpand := tr.Phase("expand")
 	pats := s.batchPatterns(req.Queries)
+	endExpand()
 	if s.plan {
+		endPlan := tr.Phase("plan")
 		plan := eval.PlanWorkload(pats)
-		if err := plan.Execute(ev, planWorkers); err != nil {
+		endPlan()
+		endMat := tr.Phase("materialize")
+		err := plan.Execute(ev, planWorkers)
+		endMat()
+		if err != nil {
 			// Canceled mid-schedule: the pinned snapshot is released by the
 			// deferred Release above, already-materialized nodes stay cached
 			// for a retry, and no query has produced a result yet.
@@ -278,15 +304,18 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.nDeduped.Add(uint64(st.Deduped))
 		s.nProductsSaved.Add(uint64(st.ProductsSaved))
 		s.nUnplannable.Add(uint64(st.Unplannable))
+		tr.SetPlan(st.Deduped, st.ProductsSaved)
 	} else {
 		// Amortized sequential materialization. A deadline expiring here
 		// used to be swallowed (the Guard error was discarded) and
 		// resurfaced only as confusing per-query errors; it answers 504
 		// like the plan path — no query had a chance to run.
+		endMat := tr.Phase("materialize")
 		err := eval.Guard(func() error {
 			ev.Materialize(pats...)
 			return nil
 		})
+		endMat()
 		if err != nil {
 			if !s.writeIfCanceled(w, err) {
 				s.writeError(w, http.StatusServiceUnavailable, err)
@@ -295,6 +324,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	endScore := tr.Phase("score")
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	var timedOut atomic.Bool
@@ -303,9 +333,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				res, err := s.guardedSearch(ev, &req.Queries[i])
+				res, err := s.guardedSearch(ev, &req.Queries[i], nil)
 				if err != nil {
-					s.nErrors.Add(1)
+					s.obs.batchQueryError()
 					var c *eval.Canceled
 					if errors.As(err, &c) && errors.Is(c.Err, context.DeadlineExceeded) {
 						timedOut.Store(true)
@@ -322,11 +352,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	close(jobs)
 	wg.Wait()
+	endScore()
+	tr.SetEval(ev.Counters())
 	// One timed-out batch counts once, matching /search's accounting;
 	// the response stays 200 so queries that beat the deadline deliver
-	// their partial results.
+	// their partial results — the status-based middleware cannot see
+	// this, hence the explicit hook.
 	if timedOut.Load() {
-		s.nTimeouts.Add(1)
+		s.obs.batchSoftTimeout()
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
@@ -449,7 +482,6 @@ type ExplainResponse struct {
 const defaultExplainLimit = 10
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	s.nExplain.Add(1)
 	var req ExplainRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
@@ -489,6 +521,10 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, fmt.Errorf("to node %q not found", req.To))
 		return
 	}
+	tr := traceFrom(r.Context())
+	tr.SetQuery(req.Pattern, req.From+" -> "+req.To, "explain")
+	tr.SetVersion(pin.Version())
+	endEval := tr.Phase("evaluate")
 	var resp ExplainResponse
 	err = eval.Guard(func() error {
 		m := ev.Commuting(p)
@@ -508,6 +544,8 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		}
 		return nil
 	})
+	endEval()
+	tr.SetEval(ev.Counters())
 	if err != nil {
 		if !s.writeIfCanceled(w, err) {
 			s.writeError(w, http.StatusBadRequest, err)
@@ -565,7 +603,6 @@ func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
 	// The version only grows, so validating against it up front stays
 	// valid for the page read below.
 	if live := s.st.Version(); since > live {
-		s.nErrors.Add(1)
 		s.writeJSON(w, http.StatusBadRequest, errorResponse{
 			Error: fmt.Sprintf("since %d is beyond the live version %d", since, live),
 			Code:  "since_beyond_live",
@@ -575,7 +612,6 @@ func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
 	feed, err := s.st.LogFeedContext(ctx, since, max)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
-			s.nTimeouts.Add(1)
 			s.writeError(w, http.StatusGatewayTimeout, err)
 		} else {
 			s.writeError(w, http.StatusServiceUnavailable, err)
@@ -670,13 +706,11 @@ type MutationResponse struct {
 }
 
 func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
-	s.nMutate.Add(1)
 	if s.replica != nil {
 		// A follower's store is written only by the replication tailer;
 		// accepting a client mutation would fork it from the leader's
 		// history. 403 (not 405: the method is fine, the role is not)
 		// with the leader's address so clients can redirect themselves.
-		s.nErrors.Add(1)
 		s.writeJSON(w, http.StatusForbidden, errorResponse{
 			Error:  "read-only follower: send mutations to the leader",
 			Code:   "follower_read_only",
@@ -739,7 +773,6 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 			status = http.StatusInternalServerError
 		}
 		resp = MutationResponse{Version: s.st.Version(), Error: err.Error()}
-		s.nErrors.Add(1)
 		s.writeJSON(w, status, resp)
 		return
 	}

@@ -24,7 +24,7 @@ func TestWriteDuringBatchDoesNotChangeInFlightResults(t *testing.T) {
 	ev := srv.evaluator(pin.Snapshot(), pin.Version())
 	req := SearchRequest{Pattern: "by.by-", Query: "p1", Type: "paper"}
 
-	before, err := srv.runSearch(ev, &req)
+	before, err := srv.runSearch(ev, &req, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +44,7 @@ func TestWriteDuringBatchDoesNotChangeInFlightResults(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	after, err := srv.runSearch(ev, &req)
+	after, err := srv.runSearch(ev, &req, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestWriteDuringBatchDoesNotChangeInFlightResults(t *testing.T) {
 	// A fresh request pins the new version and must see p3.
 	pin2 := srv.st.Pin()
 	defer pin2.Release()
-	fresh, err := srv.runSearch(srv.evaluator(pin2.Snapshot(), pin2.Version()), &req)
+	fresh, err := srv.runSearch(srv.evaluator(pin2.Snapshot(), pin2.Version()), &req, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

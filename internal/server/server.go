@@ -37,7 +37,9 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -51,6 +53,7 @@ import (
 	"relsim/internal/schema"
 	"relsim/internal/sparse"
 	"relsim/internal/store"
+	"relsim/internal/telemetry"
 )
 
 // DefaultWorkers is the /batch worker-pool size when the request does
@@ -108,7 +111,20 @@ type Server struct {
 	expandMisses    uint64
 	expandEvictions uint64
 
-	nSearch, nBatch, nExplain, nMutate, nErrors, nTimeouts atomic.Uint64
+	// Observability. reg is the server's telemetry registry (nil when
+	// WithInstrumentation(false)); obs holds the HTTP-layer metric
+	// handles the middleware feeds. Request/error/timeout counting is
+	// status-based in the middleware — see observed in obs.go — so no
+	// handler error path can skip it.
+	instrument    bool
+	reg           *telemetry.Registry
+	obs           *serverObs
+	slow          *slowLog
+	slowThreshold time.Duration
+	pprofEnabled  bool
+	accessW       io.Writer
+	accessJSON    bool
+	accessMu      sync.Mutex
 
 	// Workload-planning counters: batches planned, subexpression
 	// materializations avoided by DAG sharing, products those
@@ -221,6 +237,42 @@ func WithFollower(rep Replication, maxLag uint64, maxLagAge time.Duration) Optio
 	}
 }
 
+// WithInstrumentation toggles the telemetry layer as a whole (default
+// on): the /metrics registry, the per-request middleware (request ids,
+// Server-Timing, per-endpoint counters and latency histograms), and the
+// store/WAL/replica instrumentation. Off is the measured baseline for
+// the instrumentation-overhead benchmark; an uninstrumented server
+// reports zero request counters in /stats.
+func WithInstrumentation(on bool) Option {
+	return func(s *Server) { s.instrument = on }
+}
+
+// WithSlowQuery enables the slow-query log: requests slower than d are
+// captured — pattern, plan stats, cache behavior, phase timings — into
+// a bounded ring served at GET /debug/queries. d <= 0 disables capture
+// (the default). Requires instrumentation.
+func WithSlowQuery(d time.Duration) Option {
+	return func(s *Server) { s.slowThreshold = d }
+}
+
+// WithPprof mounts net/http/pprof under /debug/pprof/ (default off:
+// profiles expose memory contents, so the surface is opt-in).
+func WithPprof(on bool) Option {
+	return func(s *Server) { s.pprofEnabled = on }
+}
+
+// WithAccessLog emits one structured line per request to w — JSON when
+// jsonFormat, a stable text form otherwise. Each line carries the
+// request id, endpoint, status, duration, and per-phase breakdown.
+// Writes are serialized; w need not be safe for concurrent use.
+// Requires instrumentation.
+func WithAccessLog(w io.Writer, jsonFormat bool) Option {
+	return func(s *Server) {
+		s.accessW = w
+		s.accessJSON = jsonFormat
+	}
+}
+
 // expandEntry is one memoized Algorithm-1 expansion with its LRU tick.
 type expandEntry struct {
 	ps   []*rre.Pattern
@@ -251,6 +303,7 @@ func New(st *store.Store, sc *schema.Schema, opts ...Option) *Server {
 		start:       time.Now(),
 		expand:      make(map[string]*expandEntry),
 		expandLimit: DefaultExpandCacheLimit,
+		instrument:  true,
 	}
 	for _, o := range opts {
 		o(s)
@@ -266,13 +319,48 @@ func New(st *store.Store, sc *schema.Schema, opts ...Option) *Server {
 		s.mux.HandleFunc("GET /log", s.handleLog)
 		s.mux.HandleFunc("GET /checkpoint", s.handleCheckpoint)
 	}
+	if s.instrument {
+		s.reg = telemetry.NewRegistry()
+		s.obs = newServerObs(s.reg)
+		s.instrumentEngine(s.reg)
+		st.Instrument(s.reg)
+		// A replication tailer that can describe itself (the concrete
+		// *replica.Follower does) joins the registry; test fakes that
+		// cannot simply stay out of /metrics.
+		if in, ok := s.replica.(interface{ Instrument(*telemetry.Registry) }); ok {
+			in.Instrument(s.reg)
+		}
+		s.mux.Handle("GET /metrics", s.reg.Handler())
+		if s.slowThreshold > 0 {
+			s.slow = newSlowLog()
+		}
+	}
+	s.mux.HandleFunc("GET /debug/queries", s.handleSlowQueries)
+	if s.pprofEnabled {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. With instrumentation on, every
+// request flows through the observability middleware; otherwise the mux
+// serves directly with zero overhead.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	if s.obs == nil {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	s.observed(w, r)
 }
+
+// Registry returns the server's telemetry registry (nil when
+// instrumentation is off) — the cmd layer and tests scrape or extend
+// it.
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
 
 // Cache returns the server's shared versioned commuting-matrix cache
 // (tests and stats probing).
@@ -363,8 +451,12 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// writeError writes the uniform error body. Error accounting is NOT
+// done here: the middleware counts every >= 400 response from the
+// status it observes, so handlers that produce errors through other
+// paths (writeJSON with an error status, the mux's own 404/405) are
+// counted identically.
 func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
-	s.nErrors.Add(1)
 	s.writeJSON(w, status, errorResponse{Error: err.Error()})
 }
 
@@ -479,19 +571,43 @@ func (s *Server) Stats() StatsResponse {
 			UnplannablePatterns:  s.nUnplannable.Load(),
 			ProductsMaterialized: s.nProducts.Load(),
 		},
-		Durability:  dur,
-		ExpandMemo:  memo,
-		Replication: repl,
-		Requests: map[string]uint64{
-			"search":    s.nSearch.Load(),
-			"batch":     s.nBatch.Load(),
-			"explain":   s.nExplain.Load(),
-			"mutations": s.nMutate.Load(),
-			"errors":    s.nErrors.Load(),
-			"timeouts":  s.nTimeouts.Load(),
-		},
+		Durability:    dur,
+		ExpandMemo:    memo,
+		Replication:   repl,
+		Requests:      s.requestCounts(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 	}
+}
+
+// requestCounts assembles the Requests section of /stats from the
+// telemetry registry's own counters — the single source of truth, so
+// /stats and /metrics cannot disagree. The JSON shape predates the
+// registry and is kept: per-endpoint counts for the four request
+// surfaces plus totals for errors and timeouts. "errors" folds in
+// /batch's per-query errors and "timeouts" its soft timeouts, matching
+// the pre-registry accounting. All zeros when instrumentation is off.
+func (s *Server) requestCounts() map[string]uint64 {
+	req := map[string]uint64{
+		"search": 0, "batch": 0, "explain": 0,
+		"mutations": 0, "errors": 0, "timeouts": 0,
+	}
+	o := s.obs
+	if o == nil {
+		return req
+	}
+	for _, ep := range []string{"search", "batch", "explain", "mutations"} {
+		req[ep] = uint64(o.requests[ep].Value())
+	}
+	var errs, touts float64
+	for _, m := range o.errors {
+		errs += m.Value()
+	}
+	for _, m := range o.timeouts {
+		touts += m.Value()
+	}
+	req["errors"] = uint64(errs + o.queryErrors.Value())
+	req["timeouts"] = uint64(touts)
+	return req
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

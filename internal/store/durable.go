@@ -488,6 +488,7 @@ func (s *Store) maybeCheckpointLocked(v *versioned) {
 // checkpointers, and a version already covered by a newer checkpoint is
 // skipped.
 func (s *Store) checkpointNow(v *versioned) error {
+	start := time.Now()
 	d := s.dur
 	d.ckptMu.Lock()
 	defer d.ckptMu.Unlock()
@@ -535,6 +536,7 @@ func (s *Store) checkpointNow(v *versioned) error {
 	d.wal.TrimThrough(v.version)
 	d.lastCheckpoint.Store(v.version)
 	d.checkpoints.Add(1)
+	s.observeCheckpoint(start)
 	return nil
 }
 

@@ -28,6 +28,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"relsim/internal/graph"
 )
@@ -101,6 +102,11 @@ type Store struct {
 	// transaction fails fast with ErrClosed instead of racing the WAL
 	// teardown into a 500 or a panic.
 	closed atomic.Bool
+
+	// obs is the telemetry sink (commit latency, checkpoint duration);
+	// nil until Instrument installs it. Atomic so instrumentation can
+	// land on a store that is already serving.
+	obs atomic.Pointer[storeObs]
 }
 
 // New wraps g in a store at version 0. The snapshot is taken eagerly;
@@ -456,6 +462,7 @@ func (tx *Tx) record(u Update) {
 // already on disk (as durable as the fsync policy promises). Writers
 // are serialized; readers are never blocked.
 func (s *Store) Update(fn func(tx *Tx) error) error {
+	start := time.Now()
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
 	// Checked under writeMu, the same lock Close sets it under: a
@@ -496,6 +503,9 @@ func (s *Store) Update(fn func(tx *Tx) error) error {
 	if s.onUpdate != nil {
 		s.onUpdate(tx.updates)
 	}
+	// Observed before the (asynchronous) checkpoint cadence check: commit
+	// latency is what the caller waited, writeMu wait included.
+	s.observeCommit(start)
 	if s.dur != nil {
 		s.maybeCheckpointLocked(next)
 	}

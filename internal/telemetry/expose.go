@@ -1,0 +1,356 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every family in Prometheus text exposition
+// format (version 0.0.4): families sorted by name, each preceded by its
+// # HELP and # TYPE lines, children sorted by label values, histograms
+// expanded into cumulative _bucket series plus _sum and _count.
+// Callback families are evaluated here, so a scrape always sees live
+// snapshot values.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		if f.fn != nil {
+			fmt.Fprintf(bw, "%s %s\n", f.name, formatFloat(f.fn()))
+			continue
+		}
+		for _, m := range f.sortedChildren() {
+			switch f.kind {
+			case KindHistogram:
+				writeHistogram(bw, f, m)
+			default:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, labelString(f.labels, m.values, "", 0), formatFloat(m.Value()))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler returns the GET /metrics handler.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// sortedChildren snapshots the family's children ordered by label value
+// tuple, so exposition output is deterministic.
+func (f *family) sortedChildren() []*Metric {
+	f.mu.Lock()
+	ms := make([]*Metric, 0, len(f.children))
+	for _, m := range f.children {
+		ms = append(ms, m)
+	}
+	f.mu.Unlock()
+	sort.Slice(ms, func(i, j int) bool {
+		for k := range ms[i].values {
+			if ms[i].values[k] != ms[j].values[k] {
+				return ms[i].values[k] < ms[j].values[k]
+			}
+		}
+		return false
+	})
+	return ms
+}
+
+// writeHistogram expands one child into cumulative buckets + sum +
+// count. Bucket counts are read before sum/count, so a concurrent
+// Observe can at worst make the scrape's _count exceed the +Inf
+// bucket... it cannot: +Inf is computed from _count itself, keeping the
+// invariant le="+Inf" == _count that scrapers check.
+func writeHistogram(w io.Writer, f *family, m *Metric) {
+	cum := uint64(0)
+	for i, bound := range f.buckets {
+		cum += m.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+			labelString(f.labels, m.values, "le", bound), cum)
+	}
+	total := m.count.Load()
+	if total < cum {
+		// A concurrent Observe bumped a bucket after we read an earlier
+		// total; clamp so cumulative counts stay monotone.
+		total = cum
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+		labelString(f.labels, m.values, "le", math.Inf(1)), total)
+	fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelString(f.labels, m.values, "", 0), formatFloat(m.Value()))
+	fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelString(f.labels, m.values, "", 0), total)
+}
+
+// labelString renders {k="v",...}, appending an le bucket label when
+// leName is non-empty. Returns "" for the empty label set.
+func labelString(names, values []string, leName string, le float64) string {
+	if len(names) == 0 && leName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if leName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(leName)
+		b.WriteString(`="`)
+		if math.IsInf(le, 1) {
+			b.WriteString("+Inf")
+		} else {
+			b.WriteString(formatFloat(le))
+		}
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double quote, and newline.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return s
+}
+
+// escapeHelp escapes a HELP string: backslash and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}
+
+// metricNameRe matches a legal Prometheus metric name.
+var metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// seriesRe splits one sample line into name, optional label block, and
+// value. The label block is validated separately.
+var seriesRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$`)
+
+// labelPairRe matches one k="v" pair with exposition escaping.
+var labelPairRe = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+
+// Lint parses Prometheus text exposition output and validates it:
+// every sample is preceded by # HELP and # TYPE lines for its family,
+// names and label pairs are well-formed, values parse as floats, and
+// histogram bucket counts are cumulative-monotone with le="+Inf" equal
+// to _count. It returns the set of series names seen — histogram
+// samples count under their family name — so callers can assert
+// required series are present. It is the shared checker behind the
+// /metrics unit tests and the replication e2e scrape.
+func Lint(data []byte) (map[string]bool, error) {
+	series := make(map[string]bool)
+	typed := make(map[string]string) // family -> TYPE
+	helped := make(map[string]bool)  // family -> saw HELP
+	type histState struct {
+		lastCum   uint64
+		lastLabel string
+		count     map[string]uint64 // label set (sans le) -> _count
+		infCum    map[string]uint64 // label set (sans le) -> +Inf cumulative
+	}
+	hists := make(map[string]*histState)
+
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "# HELP ") {
+			parts := strings.SplitN(strings.TrimPrefix(text, "# HELP "), " ", 2)
+			if !metricNameRe.MatchString(parts[0]) {
+				return nil, fmt.Errorf("line %d: bad HELP name %q", line, parts[0])
+			}
+			helped[parts[0]] = true
+			continue
+		}
+		if strings.HasPrefix(text, "# TYPE ") {
+			parts := strings.Fields(strings.TrimPrefix(text, "# TYPE "))
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("line %d: malformed TYPE line %q", line, text)
+			}
+			switch parts[1] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown TYPE %q", line, parts[1])
+			}
+			if !helped[parts[0]] {
+				return nil, fmt.Errorf("line %d: TYPE for %q without preceding HELP", line, parts[0])
+			}
+			typed[parts[0]] = parts[1]
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			continue // comment
+		}
+		m := seriesRe.FindStringSubmatch(text)
+		if m == nil {
+			return nil, fmt.Errorf("line %d: malformed sample %q", line, text)
+		}
+		name, labelBlock, valueStr := m[1], m[2], m[3]
+		value, err := strconv.ParseFloat(valueStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad value %q: %v", line, valueStr, err)
+		}
+		// Resolve the family: histogram samples use suffixed names.
+		fam := name
+		suffix := ""
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, sfx)
+			if base != name && typed[base] == "histogram" {
+				fam, suffix = base, sfx
+				break
+			}
+		}
+		if typed[fam] == "" {
+			return nil, fmt.Errorf("line %d: sample %q without TYPE", line, name)
+		}
+		le := ""
+		bare := labelBlock
+		if labelBlock != "" {
+			pairs, leVal, err := parseLabels(labelBlock)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", line, err)
+			}
+			le = leVal
+			bare = pairs
+		}
+		if suffix == "_bucket" {
+			if le == "" {
+				return nil, fmt.Errorf("line %d: histogram bucket without le label", line)
+			}
+			h := hists[fam]
+			if h == nil {
+				h = &histState{count: make(map[string]uint64), infCum: make(map[string]uint64)}
+				hists[fam] = h
+			}
+			if bare != h.lastLabel {
+				h.lastLabel, h.lastCum = bare, 0
+			}
+			if uint64(value) < h.lastCum {
+				return nil, fmt.Errorf("line %d: histogram %s%s buckets not cumulative (%v < %d)", line, fam, bare, value, h.lastCum)
+			}
+			h.lastCum = uint64(value)
+			if le == "+Inf" {
+				h.infCum[bare] = uint64(value)
+			}
+		}
+		if suffix == "_count" {
+			h := hists[fam]
+			if h == nil {
+				return nil, fmt.Errorf("line %d: %s_count before any bucket", line, fam)
+			}
+			h.count[bare] = uint64(value)
+		}
+		series[fam] = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for fam, h := range hists {
+		for labels, c := range h.count {
+			if inf, ok := h.infCum[labels]; !ok {
+				return nil, fmt.Errorf("histogram %s%s has no +Inf bucket", fam, labels)
+			} else if inf != c {
+				return nil, fmt.Errorf("histogram %s%s: le=\"+Inf\" %d != _count %d", fam, labels, inf, c)
+			}
+		}
+	}
+	for fam := range series {
+		if !helped[fam] {
+			return nil, fmt.Errorf("family %s has samples but no HELP", fam)
+		}
+	}
+	return series, nil
+}
+
+// parseLabels validates one {k="v",...} block, returning the block with
+// any le pair removed (for histogram per-series grouping) and the le
+// value.
+func parseLabels(block string) (bare string, le string, err error) {
+	inner := strings.TrimSuffix(strings.TrimPrefix(block, "{"), "}")
+	if inner == "" {
+		return "", "", nil
+	}
+	var kept []string
+	for _, pair := range splitLabelPairs(inner) {
+		m := labelPairRe.FindStringSubmatch(pair)
+		if m == nil {
+			return "", "", fmt.Errorf("malformed label pair %q", pair)
+		}
+		if m[1] == "le" {
+			le = m[2]
+			continue
+		}
+		kept = append(kept, pair)
+	}
+	if kept == nil {
+		return "", le, nil
+	}
+	return "{" + strings.Join(kept, ",") + "}", le, nil
+}
+
+// splitLabelPairs splits on commas outside quoted values (label values
+// may contain commas).
+func splitLabelPairs(s string) []string {
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if depth {
+				i++ // skip escaped char
+			}
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}

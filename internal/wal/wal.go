@@ -144,8 +144,35 @@ type Log struct {
 	broken bool
 	stats  Stats
 
+	// Observer hooks for the telemetry layer, called under l.mu so they
+	// see each event exactly once in order. Nil when uninstrumented.
+	obsFsync  func(seconds float64)
+	obsAppend func(bytes int)
+
 	stopSync chan struct{}
 	syncDone chan struct{}
+}
+
+// SetObservers installs telemetry hooks: onFsync receives the duration
+// of every successful fsync (the latency a SyncAlways commit pays),
+// onAppend the byte size of every appended record. Either may be nil.
+// Hooks must be fast and safe to call under the log's internal lock.
+func (l *Log) SetObservers(onFsync func(seconds float64), onAppend func(bytes int)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.obsFsync = onFsync
+	l.obsAppend = onAppend
+}
+
+// fsyncTimed syncs the active segment, reporting the duration to the
+// fsync observer on success. l.mu held.
+func (l *Log) fsyncTimed() error {
+	start := time.Now()
+	err := l.f.Sync()
+	if err == nil && l.obsFsync != nil {
+		l.obsFsync(time.Since(start).Seconds())
+	}
+	return err
 }
 
 // Open opens (creating if needed) the log in dir, scanning every
@@ -363,7 +390,7 @@ func (l *Log) Append(seq uint64, payload []byte) error {
 		return fmt.Errorf("wal: append: %w", err)
 	}
 	if l.opt.Sync == SyncAlways {
-		if err := l.f.Sync(); err != nil {
+		if err := l.fsyncTimed(); err != nil {
 			// The record is fully written but the caller will roll the
 			// batch back; leaving it would resurrect a rolled-back batch
 			// at the next recovery. Cut it.
@@ -379,6 +406,9 @@ func (l *Log) Append(seq uint64, payload []byte) error {
 	l.stats.Appended++
 	l.stats.LastSeq = seq
 	l.stats.ActiveSegmentBytes = l.size
+	if l.obsAppend != nil {
+		l.obsAppend(len(buf))
+	}
 	return nil
 }
 
@@ -398,7 +428,7 @@ func (l *Log) rewindLocked() {
 func (l *Log) rotateLocked(seq uint64) error {
 	if l.f != nil {
 		if l.dirty || l.opt.Sync == SyncAlways {
-			if err := l.f.Sync(); err != nil {
+			if err := l.fsyncTimed(); err != nil {
 				return fmt.Errorf("wal: fsync on rotate: %w", err)
 			}
 			l.stats.Fsyncs++
@@ -433,7 +463,7 @@ func (l *Log) syncLocked() error {
 	if l.f == nil || !l.dirty {
 		return nil
 	}
-	if err := l.f.Sync(); err != nil {
+	if err := l.fsyncTimed(); err != nil {
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
 	l.dirty = false

@@ -27,6 +27,7 @@ package relsim
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"relsim/internal/eval"
@@ -231,6 +232,32 @@ func WithServerDurability(on bool) ServerOption {
 // entries with LRU eviction.
 func WithServerExpandCacheLimit(n int) ServerOption {
 	return server.WithExpandCacheLimit(n)
+}
+
+// WithServerInstrumentation toggles the telemetry layer (default on):
+// the GET /metrics Prometheus exposition, per-request ids and
+// Server-Timing headers, and the per-endpoint counters and latency
+// histograms behind /stats.
+func WithServerInstrumentation(on bool) ServerOption {
+	return server.WithInstrumentation(on)
+}
+
+// WithServerSlowQuery captures requests slower than d — pattern, plan
+// stats, cache behavior, phase timings — into a bounded ring served at
+// GET /debug/queries. d <= 0 disables capture (the default).
+func WithServerSlowQuery(d time.Duration) ServerOption {
+	return server.WithSlowQuery(d)
+}
+
+// WithServerPprof mounts net/http/pprof under /debug/pprof/ (default
+// off: profiles expose process memory, so the surface is opt-in).
+func WithServerPprof(on bool) ServerOption { return server.WithPprof(on) }
+
+// WithServerAccessLog emits one structured line per request to w (JSON
+// when jsonFormat, text otherwise): request id, endpoint, status,
+// duration, and per-phase breakdown.
+func WithServerAccessLog(w io.Writer, jsonFormat bool) ServerOption {
+	return server.WithAccessLog(w, jsonFormat)
 }
 
 // CanonicalPattern returns the canonical form of p: associativity
