@@ -52,6 +52,7 @@ import (
 	"time"
 
 	"relsim/internal/datasets"
+	"relsim/internal/eval"
 	"relsim/internal/graph"
 	"relsim/internal/replica"
 	"relsim/internal/schema"
@@ -82,6 +83,8 @@ func run(args []string) error {
 	minDim := fs.Int("parallel-min-dim", defGate.MinDim, "min matrix dimension for the parallel SpGEMM kernel")
 	minNNZ := fs.Int("parallel-min-nnz", defGate.MinNNZ, "min combined nnz for the parallel SpGEMM kernel")
 	workloadPlan := fs.Bool("workload-plan", true, "workload-aware /batch planning: canonicalize patterns, share sub-pattern matrices across the whole batch, materialize each distinct subexpression once")
+	deltaMaint := fs.Bool("delta-maintenance", true, "incremental cache maintenance: patch stale cached commuting matrices to the new version with sparse delta products on each commit, instead of evicting them")
+	deltaDensity := fs.Float64("delta-max-density", eval.DefaultMaxDeltaDensity, "delta density (nonzeros as a fraction of n²) above which maintenance of a pattern falls back to evict-and-recompute")
 	dataDir := fs.String("data-dir", "", "durable data directory (write-ahead log + checkpoints); empty serves in-memory only")
 	fsync := fs.String("fsync", "always", "WAL fsync policy: always (no committed batch is ever lost), interval, never")
 	fsyncInterval := fs.Duration("fsync-interval", wal.DefaultSyncInterval, "fsync cadence for -fsync interval")
@@ -107,6 +110,7 @@ func run(args []string) error {
 			addr: *addr, leader: *follow, schemaName: *schemaName,
 			workers: *workers, cacheLimit: *cacheLimit, timeout: *timeout, drain: *drain,
 			gate: sparse.Thresholds{MinDim: *minDim, MinNNZ: *minNNZ}, plan: *workloadPlan,
+			deltaMaint: *deltaMaint, deltaDensity: *deltaDensity,
 			dataDir: *dataDir, fsync: *fsync, fsyncInterval: *fsyncInterval,
 			checkpointEvery: *checkpointEvery, segmentBytes: *segmentBytes, logRetention: *logRetention,
 			pollInterval: *pollInterval, maxLag: *maxLag, maxLagAge: *maxLagAge,
@@ -153,6 +157,8 @@ func run(args []string) error {
 		server.WithTimeout(*timeout),
 		server.WithParallelThresholds(sparse.Thresholds{MinDim: *minDim, MinNNZ: *minNNZ}),
 		server.WithWorkloadPlanning(*workloadPlan),
+		server.WithDeltaMaintenance(*deltaMaint),
+		server.WithDeltaMaxDensity(*deltaDensity),
 		server.WithSlowQuery(*slowQuery),
 		server.WithPprof(*pprofOn),
 		server.WithAccessLog(os.Stderr, accessJSON),
@@ -219,6 +225,8 @@ type followerConfig struct {
 	timeout, drain           time.Duration
 	gate                     sparse.Thresholds
 	plan                     bool
+	deltaMaint               bool
+	deltaDensity             float64
 	dataDir, fsync           string
 	fsyncInterval            time.Duration
 	checkpointEvery          uint64
@@ -338,6 +346,8 @@ func runFollower(cfg followerConfig) error {
 		server.WithTimeout(cfg.timeout),
 		server.WithParallelThresholds(cfg.gate),
 		server.WithWorkloadPlanning(cfg.plan),
+		server.WithDeltaMaintenance(cfg.deltaMaint),
+		server.WithDeltaMaxDensity(cfg.deltaDensity),
 		server.WithFollower(f, cfg.maxLag, cfg.maxLagAge),
 		server.WithSlowQuery(cfg.slowQuery),
 		server.WithPprof(cfg.pprof),

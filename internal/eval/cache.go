@@ -19,28 +19,95 @@ type Key struct {
 }
 
 // cacheEntry is one materialized commuting matrix together with the
-// label set of its pattern (for the label-hint eviction) and its
-// last-use tick (for LRU eviction).
+// label set of its pattern (for the label-hint eviction and the
+// inverted index) and its last-use tick (for LRU eviction).
 type cacheEntry struct {
 	m      *sparse.Matrix
 	labels []string
 	used   uint64
 }
 
+// versionBucket holds all entries of one graph version, indexed two
+// ways: by pattern string, and by label → patterns mentioning it. The
+// inverted index is what makes the commit path (Advance,
+// InvalidateLabels) proportional to the entries actually touched
+// instead of a scan over every entry's label list.
+type versionBucket struct {
+	entries map[string]*cacheEntry
+	byLabel map[string]map[string]struct{}
+}
+
+func newBucket() *versionBucket {
+	return &versionBucket{
+		entries: make(map[string]*cacheEntry),
+		byLabel: make(map[string]map[string]struct{}),
+	}
+}
+
+// put stores an entry and indexes its labels.
+func (b *versionBucket) put(pattern string, ent *cacheEntry) {
+	b.entries[pattern] = ent
+	for _, l := range ent.labels {
+		set, ok := b.byLabel[l]
+		if !ok {
+			set = make(map[string]struct{})
+			b.byLabel[l] = set
+		}
+		set[pattern] = struct{}{}
+	}
+}
+
+// remove deletes an entry and unindexes its labels. Reports whether the
+// pattern was present.
+func (b *versionBucket) remove(pattern string) bool {
+	ent, ok := b.entries[pattern]
+	if !ok {
+		return false
+	}
+	delete(b.entries, pattern)
+	for _, l := range ent.labels {
+		if set := b.byLabel[l]; set != nil {
+			delete(set, pattern)
+			if len(set) == 0 {
+				delete(b.byLabel, l)
+			}
+		}
+	}
+	return true
+}
+
+// stale returns the set of patterns mentioning any of the given labels,
+// in O(Σ index-bucket sizes) — proportional to the touched entries.
+func (b *versionBucket) stale(labels []string) map[string]struct{} {
+	out := make(map[string]struct{})
+	for _, l := range labels {
+		for p := range b.byLabel[l] {
+			out[p] = struct{}{}
+		}
+	}
+	return out
+}
+
 // Cache is a versioned commuting-matrix cache shared by all evaluators
 // of one serving engine. It is safe for concurrent use.
 type Cache struct {
-	mu      sync.Mutex
-	entries map[Key]*cacheEntry
-	limit   int    // max cached matrices; 0 = unbounded
-	tick    uint64 // logical clock for LRU recency
-	gen     uint64 // bumped by invalidation; see Evaluator.Commuting
+	mu       sync.Mutex
+	versions map[uint64]*versionBucket
+	size     int    // total entries across versions
+	limit    int    // max cached matrices; 0 = unbounded
+	tick     uint64 // logical clock for LRU recency
+	gen      uint64 // bumped by invalidation; see Evaluator.Commuting
 
 	hits, misses, evictions, invalidations uint64
+
+	// scanned counts entries examined by the commit path (Advance and
+	// InvalidateLabels). The inverted index makes it proportional to
+	// touched entries; the cache tests gate on it deterministically.
+	scanned uint64
 }
 
 // NewCache returns an empty, unbounded cache.
-func NewCache() *Cache { return &Cache{entries: make(map[Key]*cacheEntry)} }
+func NewCache() *Cache { return &Cache{versions: make(map[uint64]*versionBucket)} }
 
 // CacheStats is a point-in-time snapshot of the commuting-matrix cache.
 type CacheStats struct {
@@ -58,13 +125,9 @@ type CacheStats struct {
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	vs := make(map[uint64]bool)
-	for k := range c.entries {
-		vs[k.Version] = true
-	}
 	return CacheStats{
-		Size:          len(c.entries),
-		Versions:      len(vs),
+		Size:          c.size,
+		Versions:      len(c.versions),
 		Limit:         c.limit,
 		Hits:          c.hits,
 		Misses:        c.misses,
@@ -77,7 +140,7 @@ func (c *Cache) Stats() CacheStats {
 func (c *Cache) Size() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.entries)
+	return c.size
 }
 
 // VersionOccupancy returns the number of cached matrices per graph
@@ -87,8 +150,10 @@ func (c *Cache) VersionOccupancy() map[uint64]int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	occ := make(map[uint64]int)
-	for k := range c.entries {
-		occ[k.Version]++
+	for v, b := range c.versions {
+		if len(b.entries) > 0 {
+			occ[v] = len(b.entries)
+		}
 	}
 	return occ
 }
@@ -103,16 +168,44 @@ func (c *Cache) SetLimit(n int) {
 	c.evictLocked()
 }
 
+// bucket returns the bucket for version v, creating it if needed. c.mu held.
+func (c *Cache) bucket(v uint64) *versionBucket {
+	b, ok := c.versions[v]
+	if !ok {
+		b = newBucket()
+		c.versions[v] = b
+	}
+	return b
+}
+
+// removeLocked deletes (v, pattern) if present, maintaining size. c.mu held.
+func (c *Cache) removeLocked(v uint64, pattern string) bool {
+	b, ok := c.versions[v]
+	if !ok {
+		return false
+	}
+	if !b.remove(pattern) {
+		return false
+	}
+	c.size--
+	if len(b.entries) == 0 {
+		delete(c.versions, v)
+	}
+	return true
+}
+
 // lookup returns the cached matrix for key, recording a hit or miss,
 // plus the generation observed (for insert's stale-compute check).
 func (c *Cache) lookup(key Key) (*sparse.Matrix, uint64, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if ent, ok := c.entries[key]; ok {
-		c.hits++
-		c.tick++
-		ent.used = c.tick
-		return ent.m, c.gen, true
+	if b, ok := c.versions[key.Version]; ok {
+		if ent, ok := b.entries[key.Pattern]; ok {
+			c.hits++
+			c.tick++
+			ent.used = c.tick
+			return ent.m, c.gen, true
+		}
 	}
 	c.misses++
 	return nil, c.gen, false
@@ -128,9 +221,20 @@ func (c *Cache) insert(key Key, m *sparse.Matrix, labels []string, gen uint64) {
 	if c.gen != gen {
 		return
 	}
-	c.tick++
-	c.entries[key] = &cacheEntry{m: m, labels: labels, used: c.tick}
+	c.insertLocked(key, m, labels)
 	c.evictLocked()
+}
+
+// insertLocked stores an entry unconditionally. c.mu held.
+func (c *Cache) insertLocked(key Key, m *sparse.Matrix, labels []string) {
+	b := c.bucket(key.Version)
+	if _, exists := b.entries[key.Pattern]; exists {
+		b.remove(key.Pattern)
+		c.size--
+	}
+	c.tick++
+	b.put(key.Pattern, &cacheEntry{m: m, labels: labels, used: c.tick})
+	c.size++
 }
 
 // InvalidateLabels evicts every cached matrix with version <= through
@@ -139,26 +243,23 @@ func (c *Cache) insert(key Key, m *sparse.Matrix, labels []string, gen uint64) {
 // versions' snapshots are immutable, so their entries were still
 // correct); for an Engine mutating its graph in place it is the
 // correctness hook it always was, with through = the engine's version.
+// The label index makes the cost proportional to the evicted entries
+// (plus the live version count), not the cache size.
 func (c *Cache) InvalidateLabels(through uint64, labels ...string) int {
 	if len(labels) == 0 {
 		return 0
 	}
-	touched := make(map[string]bool, len(labels))
-	for _, l := range labels {
-		touched[l] = true
-	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	n := 0
-	for key, ent := range c.entries {
-		if key.Version > through {
+	for v, b := range c.versions {
+		if v > through {
 			continue
 		}
-		for _, l := range ent.labels {
-			if touched[l] {
-				delete(c.entries, key)
+		for p := range b.stale(labels) {
+			c.scanned++
+			if c.removeLocked(v, p) {
 				n++
-				break
 			}
 		}
 	}
@@ -171,8 +272,9 @@ func (c *Cache) InvalidateLabels(through uint64, labels ...string) int {
 func (c *Cache) InvalidateAll() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	n := len(c.entries)
-	c.entries = make(map[Key]*cacheEntry)
+	n := c.size
+	c.versions = make(map[uint64]*versionBucket)
+	c.size = 0
 	c.invalidations += uint64(n)
 	c.gen++
 	return n
@@ -190,40 +292,81 @@ func (c *Cache) InvalidateAll() int {
 // to `to`, and EvictBelow reaps the leftovers once the pins release.
 // Entries at older versions are untouched either way. Returns
 // (carried, evicted).
+//
+// With the label index the common path (no pinned reader, nodes
+// unchanged) moves the whole version bucket in O(1) and then removes
+// the stale patterns — O(touched entries), not O(cache).
 func (c *Cache) Advance(from, to uint64, touchedLabels []string, nodesChanged, keepFrom bool) (int, int) {
-	touched := make(map[string]bool, len(touchedLabels))
-	for _, l := range touchedLabels {
-		touched[l] = true
-	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	src, ok := c.versions[from]
+	if !ok {
+		return 0, 0
+	}
+
+	var stale map[string]struct{}
+	if nodesChanged {
+		stale = make(map[string]struct{}, len(src.entries))
+		for p := range src.entries {
+			stale[p] = struct{}{}
+		}
+	} else {
+		stale = src.stale(touchedLabels)
+	}
+	c.scanned += uint64(len(stale))
+
 	carried, evicted := 0, 0
-	for key, ent := range c.entries {
-		if key.Version != from {
-			continue
-		}
-		stale := nodesChanged
-		for _, l := range ent.labels {
-			if stale {
-				break
-			}
-			stale = touched[l]
-		}
-		if !keepFrom {
-			delete(c.entries, key)
-		}
-		if stale {
-			if !keepFrom {
+	dst, dstExists := c.versions[to]
+	switch {
+	case !keepFrom:
+		// Fast path: move the bucket wholesale, strip stale patterns,
+		// then overlay whatever already existed at `to` — maintained
+		// entries the delta engine pre-inserted, or entries a reader at
+		// the new version raced ahead and computed. Those copies win (a
+		// raced copy is equally correct; a maintained copy is the point).
+		// Cost: O(touched + |to-bucket|), not O(cache).
+		delete(c.versions, from)
+		c.versions[to] = src
+		carried = len(src.entries)
+		for p := range stale {
+			if src.remove(p) {
+				c.size--
+				carried--
 				evicted++
 			}
-			continue
 		}
-		nk := Key{Version: to, Pattern: key.Pattern}
-		// A reader at the new version may have raced ahead and computed
-		// this entry already; either copy is correct, keep the existing.
-		if _, dup := c.entries[nk]; !dup {
-			c.entries[nk] = &cacheEntry{m: ent.m, labels: ent.labels, used: ent.used}
-			carried++
+		if dstExists {
+			for p, ent := range dst.entries {
+				c.scanned++
+				if src.remove(p) {
+					c.size--
+					carried--
+				}
+				src.put(p, ent)
+			}
+		}
+		if len(src.entries) == 0 {
+			delete(c.versions, to)
+		}
+	default:
+		// Pinned readers at `from`: copy carried entries, leave `from`
+		// intact for EvictBelow to reap once the pins release.
+		if !dstExists {
+			dst = c.bucket(to)
+		}
+		for p, ent := range src.entries {
+			c.scanned++
+			if _, isStale := stale[p]; isStale {
+				continue
+			}
+			if _, dup := dst.entries[p]; !dup {
+				dst.put(p, &cacheEntry{m: ent.m, labels: ent.labels, used: ent.used})
+				c.size++
+				carried++
+			}
+		}
+		if len(dst.entries) == 0 {
+			delete(c.versions, to)
 		}
 	}
 	c.invalidations += uint64(evicted)
@@ -241,33 +384,36 @@ func (c *Cache) EvictBelow(floor uint64) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	n := 0
-	for key := range c.entries {
-		if key.Version < floor {
-			delete(c.entries, key)
-			n++
+	for v, b := range c.versions {
+		if v < floor {
+			n += len(b.entries)
+			c.size -= len(b.entries)
+			delete(c.versions, v)
 		}
 	}
 	c.evictions += uint64(n)
 	return n
 }
 
-// insertLocked-style LRU enforcement. c.mu held. The linear minimum
-// scan is fine at the cache sizes a bounded service runs with (hundreds
-// of patterns).
+// LRU enforcement. c.mu held. The linear minimum scan is fine at the
+// cache sizes a bounded service runs with (hundreds of patterns).
 func (c *Cache) evictLocked() {
 	if c.limit <= 0 {
 		return
 	}
-	for len(c.entries) > c.limit {
-		var victim Key
+	for c.size > c.limit {
+		var victimV uint64
+		var victimP string
 		var oldest uint64
 		first := true
-		for key, ent := range c.entries {
-			if first || ent.used < oldest {
-				victim, oldest, first = key, ent.used, false
+		for v, b := range c.versions {
+			for p, ent := range b.entries {
+				if first || ent.used < oldest {
+					victimV, victimP, oldest, first = v, p, ent.used, false
+				}
 			}
 		}
-		delete(c.entries, victim)
+		c.removeLocked(victimV, victimP)
 		c.evictions++
 	}
 }

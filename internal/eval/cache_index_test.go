@@ -1,0 +1,118 @@
+package eval
+
+import (
+	"fmt"
+	"testing"
+
+	"relsim/internal/sparse"
+)
+
+// primeCache inserts n entries at version v, each over one of k labels
+// (entry i gets label "l<i%k>"). Patterns are distinct.
+func primeCache(c *Cache, v uint64, n, k int) {
+	m := sparse.Identity(2)
+	for i := 0; i < n; i++ {
+		label := fmt.Sprintf("l%d", i%k)
+		c.insert(Key{Version: v, Pattern: fmt.Sprintf("p%d", i)}, m, []string{label}, 0)
+	}
+}
+
+// TestCommitPathWorkProportionalToTouched is the deterministic guard
+// for the label inverted index: a commit touching one label out of many
+// must examine only the entries mentioning that label, not the whole
+// cache. It gates on the internal scanned counter, which counts entries
+// examined by Advance and InvalidateLabels.
+func TestCommitPathWorkProportionalToTouched(t *testing.T) {
+	const entries, labels = 10000, 1000 // 10 entries per label
+	c := NewCache()
+	primeCache(c, 0, entries, labels)
+	if c.Size() != entries {
+		t.Fatalf("primed size = %d, want %d", c.Size(), entries)
+	}
+
+	c.mu.Lock()
+	c.scanned = 0
+	c.mu.Unlock()
+	carried, evicted := c.Advance(0, 1, []string{"l7"}, false, false)
+	if evicted != entries/labels {
+		t.Fatalf("Advance evicted %d, want %d", evicted, entries/labels)
+	}
+	if carried != entries-evicted {
+		t.Fatalf("Advance carried %d, want %d", carried, entries-evicted)
+	}
+	c.mu.Lock()
+	scanned := c.scanned
+	c.mu.Unlock()
+	if max := uint64(4 * entries / labels); scanned > max {
+		t.Fatalf("Advance examined %d entries for %d touched; want <= %d (index not used?)",
+			scanned, entries/labels, max)
+	}
+
+	c.mu.Lock()
+	c.scanned = 0
+	c.mu.Unlock()
+	if n := c.InvalidateLabels(1, "l9"); n != entries/labels {
+		t.Fatalf("InvalidateLabels = %d, want %d", n, entries/labels)
+	}
+	c.mu.Lock()
+	scanned = c.scanned
+	c.mu.Unlock()
+	if max := uint64(4 * entries / labels); scanned > max {
+		t.Fatalf("InvalidateLabels examined %d entries for %d touched; want <= %d",
+			scanned, entries/labels, max)
+	}
+}
+
+// TestLabelIndexConsistentAfterChurn exercises insert/remove/advance
+// churn and checks the index agrees with the entries.
+func TestLabelIndexConsistentAfterChurn(t *testing.T) {
+	c := NewCache()
+	m := sparse.Identity(2)
+	c.insert(Key{0, "a"}, m, []string{"a"}, 0)
+	c.insert(Key{0, "a.b"}, m, []string{"a", "b"}, 0)
+	c.insert(Key{0, "c"}, m, []string{"c"}, 0)
+	// Re-insert same pattern (replace path).
+	c.insert(Key{0, "a.b"}, m, []string{"a", "b"}, 0)
+	if c.Size() != 3 {
+		t.Fatalf("Size = %d, want 3 after replace", c.Size())
+	}
+	if n := c.InvalidateLabels(0, "b"); n != 1 {
+		t.Fatalf("InvalidateLabels(b) = %d, want 1", n)
+	}
+	if n := c.InvalidateLabels(0, "b"); n != 0 {
+		t.Fatalf("second InvalidateLabels(b) = %d, want 0 (index left residue)", n)
+	}
+	carried, evicted := c.Advance(0, 1, []string{"a"}, false, false)
+	if carried != 1 || evicted != 1 {
+		t.Fatalf("Advance = (%d,%d), want (1,1)", carried, evicted)
+	}
+	occ := c.VersionOccupancy()
+	if occ[0] != 0 || occ[1] != 1 {
+		t.Fatalf("occupancy = %v, want only v1:1", occ)
+	}
+}
+
+// BenchmarkCacheCommitPath measures the commit-path cache work for a
+// single touched label at two cache sizes. With the inverted index the
+// per-commit cost is flat in cache size; without it, it scales
+// linearly. Run with -bench to compare sizes.
+func BenchmarkCacheCommitPath(b *testing.B) {
+	m := sparse.Identity(2)
+	for _, size := range []int{1000, 16000} {
+		b.Run(fmt.Sprintf("entries=%d", size), func(b *testing.B) {
+			c := NewCache()
+			primeCache(c, 0, size, size/10) // 10 entries per label
+			b.ResetTimer()
+			v := uint64(0)
+			for i := 0; i < b.N; i++ {
+				// Re-insert the touched entries so every iteration evicts
+				// the same amount of work.
+				for j := 0; j < 10; j++ {
+					c.insert(Key{Version: v, Pattern: fmt.Sprintf("p%d", j*(size/10)+7)}, m, []string{"l7"}, 0)
+				}
+				c.Advance(v, v+1, []string{"l7"}, false, false)
+				v++
+			}
+		})
+	}
+}

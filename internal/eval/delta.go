@@ -1,0 +1,490 @@
+package eval
+
+import (
+	"errors"
+	"fmt"
+
+	"relsim/internal/graph"
+	"relsim/internal/rre"
+	"relsim/internal/sparse"
+)
+
+// Incremental maintenance of cached commuting matrices.
+//
+// A committed write batch is summarized as a signed sparse delta ΔA per
+// touched label (added edges +1, removed edges −1). Instead of evicting
+// every cached pattern mentioning a touched label, Cache.Maintain walks
+// each stale pattern's expression tree and patches it to the new
+// version:
+//
+//	Δ(M₁·…·M_k) = Σᵢ N₁·…·Nᵢ₋₁ · ΔMᵢ · Oᵢ₊₁·…·O_k   (O = old, N = new)
+//	Δ(M₁+…+M_k) = ΣΔMᵢ
+//	Δ(Mᵀ)       = ΔMᵀ
+//
+// which is the distributive expansion (A+ΔA)(B+ΔB) = AB + ΔA·B + A·ΔB
+// + ΔA·ΔB generalized to chains. Each product term carries the sparse
+// delta as one operand, so the few-rows SpGEMM path applies and the
+// cost scales with the delta, not the graph. Non-linear nodes
+// (Boolean, DiagMulBool, Kleene-star closure) have no useful delta
+// algebra over counting semantics; they recompute from their
+// *maintained* children — still far cheaper than recomputing the
+// subtree. All sparse ops preserve canonical CSR form (sorted, no
+// explicit zeros), and canonical CSR is unique per matrix value, so a
+// maintained matrix is byte-identical to one recomputed from the new
+// snapshot.
+//
+// Per-commit subterm results are memoized across patterns: two cached
+// patterns sharing a subexpression pay for its delta once.
+
+// CommitDelta describes one committed write batch in the form the
+// maintenance engine consumes. All delta matrices have dimension NewN.
+type CommitDelta struct {
+	From uint64 // version the cache entries were computed at
+	To   uint64 // version after the commit
+	OldN int    // node-id space before the commit
+	NewN int    // node-id space after (>= OldN; ids are append-only)
+	// Labels maps each touched label to its signed adjacency delta.
+	// A label absent from the map was not touched.
+	Labels map[string]*sparse.Matrix
+}
+
+// nodesGrew reports whether the commit enlarged the node-id space.
+func (d CommitDelta) nodesGrew() bool { return d.NewN != d.OldN }
+
+// DefaultMaxDeltaDensity is the fallback threshold: a pattern whose
+// delta at any node exceeds this fraction of n² abandons maintenance
+// and falls back to evict-and-recompute (a dense delta makes the
+// distributive terms cost as much as recomputation).
+const DefaultMaxDeltaDensity = 0.25
+
+// MaintainOptions tunes one Maintain call.
+type MaintainOptions struct {
+	// MaxDensity is the per-node delta-density fallback threshold;
+	// <= 0 uses DefaultMaxDeltaDensity.
+	MaxDensity float64
+	// Gate is the parallel-SpGEMM gate for delta products.
+	Gate sparse.Thresholds
+}
+
+// MaintainResult reports what one Maintain call did.
+type MaintainResult struct {
+	Roots      int `json:"roots"`      // stale cached patterns eligible for maintenance
+	Maintained int `json:"maintained"` // patterns patched to the new version
+	Fallbacks  int `json:"fallbacks"`  // patterns left to evict-and-recompute
+	Products   int `json:"products"`   // sparse products spent on deltas
+}
+
+// errDeltaDense aborts maintenance of patterns whose delta crosses the
+// density threshold.
+var errDeltaDense = errors.New("eval: delta density over threshold")
+
+// maintTerm is the maintenance state of one expression node: its value
+// at the old version grown to the new dimension, its value at the new
+// version, and their difference (nil = exactly zero). Invariant:
+// new = old + delta, all at dimension NewN, all canonical CSR.
+type maintTerm struct {
+	old   *sparse.Matrix
+	new   *sparse.Matrix
+	delta *sparse.Matrix
+}
+
+// maintainer is the per-commit walk state, shared across all stale
+// roots so subterm deltas are computed once.
+type maintainer struct {
+	cache    *Cache
+	view     graph.View // snapshot at d.To, for uncached label matrices
+	d        CommitDelta
+	opt      MaintainOptions
+	memo     map[string]*maintTerm
+	failed   map[string]error
+	patterns map[string]*rre.Pattern // memo key → pattern, for re-insertion
+	products int
+}
+
+// Maintain patches every stale cached pattern at version d.From to
+// version d.To by applying the commit's label deltas, inserting the
+// maintained matrices at d.To. It must run before Advance for the same
+// commit (Advance's overlay keeps pre-inserted entries at d.To) and
+// with view bound to the snapshot at d.To. Patterns whose delta
+// crosses the density threshold, at any node, are skipped and fall
+// back to the evict-and-recompute path.
+func (c *Cache) Maintain(view graph.View, d CommitDelta, opt MaintainOptions) MaintainResult {
+	var res MaintainResult
+	if d.To <= d.From || view == nil || view.NumNodes() != d.NewN || d.NewN < d.OldN {
+		return res
+	}
+	if len(d.Labels) == 0 && !d.nodesGrew() {
+		return res
+	}
+	if opt.MaxDensity <= 0 {
+		opt.MaxDensity = DefaultMaxDeltaDensity
+	}
+
+	// Collect the stale roots: patterns mentioning a touched label,
+	// plus every pattern when the dimension grew (Advance would evict
+	// all of them). Uses the label index, so the common case is
+	// proportional to the touched entries.
+	c.mu.Lock()
+	src, ok := c.versions[d.From]
+	if !ok {
+		c.mu.Unlock()
+		return res
+	}
+	var roots []string
+	if d.nodesGrew() {
+		roots = make([]string, 0, len(src.entries))
+		for p := range src.entries {
+			roots = append(roots, p)
+		}
+	} else {
+		labels := make([]string, 0, len(d.Labels))
+		for l := range d.Labels {
+			labels = append(labels, l)
+		}
+		for p := range src.stale(labels) {
+			roots = append(roots, p)
+		}
+	}
+	c.mu.Unlock()
+	res.Roots = len(roots)
+	if len(roots) == 0 {
+		return res
+	}
+
+	mt := &maintainer{
+		cache:    c,
+		view:     view,
+		d:        d,
+		opt:      opt,
+		memo:     make(map[string]*maintTerm),
+		failed:   make(map[string]error),
+		patterns: make(map[string]*rre.Pattern),
+	}
+	for _, key := range roots {
+		p, err := rre.Parse(key)
+		if err != nil || p.String() != key {
+			// A cache key that does not round-trip cannot be walked;
+			// leave it to eviction.
+			res.Fallbacks++
+			continue
+		}
+		if _, err := mt.node(p); err != nil {
+			res.Fallbacks++
+			continue
+		}
+		res.Maintained++
+	}
+	res.Products = mt.products
+
+	// Insert every successfully maintained term at d.To — the same set
+	// of entries a recompute of the maintained roots would have cached,
+	// including subterms under roots that later fell back (their values
+	// are correct and save the recompute work). Keep entries a racing
+	// reader at d.To may have inserted already; either copy is correct.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dst := c.bucket(d.To)
+	for key, term := range mt.memo {
+		if _, dup := dst.entries[key]; dup {
+			continue
+		}
+		c.insertLocked(Key{Version: d.To, Pattern: key}, term.new, mt.patterns[key].Labels())
+	}
+	if len(dst.entries) == 0 {
+		delete(c.versions, d.To)
+	}
+	c.evictLocked()
+	return res
+}
+
+// mul multiplies under the maintenance gate, counting products.
+func (mt *maintainer) mul(a, b *sparse.Matrix) *sparse.Matrix {
+	mt.products++
+	return a.MulThresh(b, mt.opt.Gate)
+}
+
+// closure is the boolean reflexive-transitive closure with product
+// accounting, matching Evaluator.booleanClosure.
+func (mt *maintainer) closure(m *sparse.Matrix) *sparse.Matrix {
+	cur := sparse.Identity(m.Dim()).Add(m.Boolean()).Boolean()
+	for {
+		next := mt.mul(cur, cur).Boolean()
+		if next.Equal(cur) {
+			return cur
+		}
+		cur = next
+	}
+}
+
+// cachedOld returns the matrix cached at (d.From, key) grown to NewN.
+func (mt *maintainer) cachedOld(key string) (*sparse.Matrix, bool) {
+	mt.cache.mu.Lock()
+	defer mt.cache.mu.Unlock()
+	b, ok := mt.cache.versions[mt.d.From]
+	if !ok {
+		return nil, false
+	}
+	ent, ok := b.entries[key]
+	if !ok {
+		return nil, false
+	}
+	return ent.m.Grow(mt.d.NewN), true
+}
+
+// normalize enforces the maintTerm invariant: an empty delta becomes
+// nil, and a too-dense delta aborts the pattern.
+func (mt *maintainer) normalize(t *maintTerm) (*maintTerm, error) {
+	if t.delta != nil && t.delta.NNZ() == 0 {
+		t.delta = nil
+	}
+	if t.delta != nil {
+		n := float64(mt.d.NewN)
+		if float64(t.delta.NNZ()) > mt.opt.MaxDensity*n*n {
+			return nil, errDeltaDense
+		}
+	}
+	return t, nil
+}
+
+// node returns the maintenance term for pattern p, memoized per commit.
+func (mt *maintainer) node(p *rre.Pattern) (*maintTerm, error) {
+	key := p.String()
+	if t, ok := mt.memo[key]; ok {
+		return t, nil
+	}
+	if err, ok := mt.failed[key]; ok {
+		return nil, err
+	}
+	t, err := mt.compute(p, key)
+	if err == nil {
+		t, err = mt.normalize(t)
+	}
+	if err != nil {
+		mt.failed[key] = err
+		return nil, err
+	}
+	mt.memo[key] = t
+	mt.patterns[key] = p
+	return t, nil
+}
+
+func (mt *maintainer) compute(p *rre.Pattern, key string) (*maintTerm, error) {
+	d := mt.d
+	switch p.Kind() {
+	case rre.KindEps:
+		t := &maintTerm{
+			old: sparse.Identity(d.OldN).Grow(d.NewN),
+			new: sparse.Identity(d.NewN),
+		}
+		if d.nodesGrew() {
+			t.delta = sparse.IdentityRange(d.NewN, d.OldN, d.NewN)
+		}
+		return t, nil
+
+	case rre.KindLabel:
+		dl := d.Labels[p.LabelName()]
+		if old, ok := mt.cachedOld(key); ok {
+			if dl == nil {
+				return &maintTerm{old: old, new: old}, nil
+			}
+			return &maintTerm{old: old, new: old.Add(dl), delta: dl}, nil
+		}
+		// Not cached at From: read the new adjacency off the snapshot
+		// and reconstruct the old side by un-applying the delta.
+		new := mt.view.Adjacency(p.LabelName())
+		if dl == nil {
+			return &maintTerm{old: new, new: new}, nil
+		}
+		return &maintTerm{old: new.Sub(dl), new: new, delta: dl}, nil
+
+	case rre.KindRev:
+		ch, err := mt.node(p.Subs()[0])
+		if err != nil {
+			return nil, err
+		}
+		t := &maintTerm{}
+		if ch.delta != nil {
+			t.delta = ch.delta.Transpose()
+		}
+		if old, ok := mt.cachedOld(key); ok {
+			t.old = old
+		} else {
+			t.old = ch.old.Transpose()
+		}
+		if t.delta == nil {
+			t.new = t.old
+		} else {
+			t.new = t.old.Add(t.delta)
+		}
+		return t, nil
+
+	case rre.KindAlt:
+		subs := p.Subs()
+		terms := make([]*maintTerm, len(subs))
+		for i, s := range subs {
+			ch, err := mt.node(s)
+			if err != nil {
+				return nil, err
+			}
+			terms[i] = ch
+		}
+		t := &maintTerm{}
+		for _, ch := range terms {
+			if ch.delta == nil {
+				continue
+			}
+			if t.delta == nil {
+				t.delta = ch.delta
+			} else {
+				t.delta = t.delta.Add(ch.delta)
+			}
+		}
+		if old, ok := mt.cachedOld(key); ok {
+			t.old = old
+		} else {
+			t.old = terms[0].old
+			for _, ch := range terms[1:] {
+				t.old = t.old.Add(ch.old)
+			}
+		}
+		if t.delta == nil || t.delta.NNZ() == 0 {
+			t.delta = nil
+			t.new = t.old
+		} else {
+			t.new = t.old.Add(t.delta)
+		}
+		return t, nil
+
+	case rre.KindConcat:
+		subs := p.Subs()
+		terms := make([]*maintTerm, len(subs))
+		for i, s := range subs {
+			ch, err := mt.node(s)
+			if err != nil {
+				return nil, err
+			}
+			terms[i] = ch
+		}
+		// Telescoping expansion: Δ = Σᵢ N₁…Nᵢ₋₁ · Δᵢ · Oᵢ₊₁…O_k.
+		// Each term is built middle-out so the delta-shaped matrix is
+		// always the left operand of the suffix products (few-rows
+		// path), and the prefix products keep a thin right operand.
+		t := &maintTerm{}
+		for i, ch := range terms {
+			if ch.delta == nil {
+				continue
+			}
+			s := ch.delta
+			for j := i + 1; j < len(terms); j++ {
+				s = mt.mul(s, terms[j].old)
+			}
+			for j := i - 1; j >= 0; j-- {
+				s = mt.mul(terms[j].new, s)
+			}
+			if t.delta == nil {
+				t.delta = s
+			} else {
+				t.delta = t.delta.Add(s)
+			}
+		}
+		if old, ok := mt.cachedOld(key); ok {
+			t.old = old
+		} else {
+			// The full product was evicted; rebuild it from the (old)
+			// children — the cost a cache miss would have paid anyway.
+			t.old = terms[0].old
+			for _, ch := range terms[1:] {
+				t.old = mt.mul(t.old, ch.old)
+			}
+		}
+		if t.delta == nil || t.delta.NNZ() == 0 {
+			t.delta = nil
+			t.new = t.old
+		} else {
+			t.new = t.old.Add(t.delta)
+		}
+		return t, nil
+
+	case rre.KindSkip:
+		ch, err := mt.node(p.Subs()[0])
+		if err != nil {
+			return nil, err
+		}
+		return mt.recomputeUnary(key, ch, (*sparse.Matrix).Boolean), nil
+
+	case rre.KindNest:
+		ch, err := mt.node(p.Subs()[0])
+		if err != nil {
+			return nil, err
+		}
+		return mt.recomputeUnary(key, ch, (*sparse.Matrix).DiagMulBool), nil
+
+	case rre.KindStar:
+		ch, err := mt.node(p.Subs()[0])
+		if err != nil {
+			return nil, err
+		}
+		t := &maintTerm{}
+		if ch.delta == nil {
+			// The closure over the old nodes is unchanged; growing the
+			// id space only adds self-loops for the new isolated nodes.
+			if old, ok := mt.cachedOld(key); ok {
+				t.old = old
+			} else {
+				t.old = mt.starOldFromChild(ch)
+			}
+			if d.nodesGrew() {
+				t.delta = sparse.IdentityRange(d.NewN, d.OldN, d.NewN)
+				t.new = t.old.Add(t.delta)
+			} else {
+				t.new = t.old
+			}
+			return t, nil
+		}
+		// Closure has no delta algebra; recompute from the maintained
+		// child — the subtree below it is still saved.
+		t.new = mt.closure(ch.new)
+		if old, ok := mt.cachedOld(key); ok {
+			t.old = old
+		} else {
+			t.old = mt.starOldFromChild(ch)
+		}
+		t.delta = t.new.Sub(t.old)
+		return t, nil
+	}
+	return nil, fmt.Errorf("eval: cannot maintain pattern kind of %q", key)
+}
+
+// recomputeUnary handles the non-linear unary nodes (Boolean,
+// DiagMulBool): the new value comes from the maintained child, the old
+// value from the cache or the child's old side, and the parent delta is
+// their difference. When the child delta is nil the op commutes with
+// Grow (neither op creates entries in empty rows), so old and new
+// coincide.
+func (mt *maintainer) recomputeUnary(key string, ch *maintTerm, op func(*sparse.Matrix) *sparse.Matrix) *maintTerm {
+	t := &maintTerm{}
+	if old, ok := mt.cachedOld(key); ok {
+		t.old = old
+	} else {
+		t.old = op(ch.old)
+	}
+	if ch.delta == nil {
+		t.new = t.old
+		return t
+	}
+	t.new = op(ch.new)
+	t.delta = t.new.Sub(t.old)
+	return t
+}
+
+// starOldFromChild rebuilds the old closure from the child's old side.
+// ch.old is the old child grown to NewN, so its closure gains self-loops
+// for the new isolated nodes that the true old closure (at OldN, grown)
+// does not have; strip them.
+func (mt *maintainer) starOldFromChild(ch *maintTerm) *sparse.Matrix {
+	c := mt.closure(ch.old)
+	if mt.d.nodesGrew() {
+		c = c.Sub(sparse.IdentityRange(mt.d.NewN, mt.d.OldN, mt.d.NewN))
+	}
+	return c
+}

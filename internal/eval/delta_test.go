@@ -1,0 +1,409 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"relsim/internal/graph"
+	"relsim/internal/rre"
+	"relsim/internal/sparse"
+)
+
+// --- harness ---------------------------------------------------------------
+
+// deltaOp is one mutation in a commit batch.
+type deltaOp struct {
+	op    string // "add-edge", "remove-edge", "add-node"
+	u, v  graph.NodeID
+	label string
+}
+
+// applyBatch applies ops on top of snap and returns the new snapshot
+// plus the CommitDelta describing what actually changed (ops that had
+// no effect — removing a missing edge — record nothing).
+func applyBatch(snap *graph.Snapshot, from uint64, ops []deltaOp) (*graph.Snapshot, CommitDelta, []string, bool) {
+	b := graph.NewBuilder(snap)
+	triples := make(map[string][]sparse.Triple)
+	for _, o := range ops {
+		switch o.op {
+		case "add-edge":
+			if err := b.AddEdge(o.u, o.label, o.v); err == nil {
+				triples[o.label] = append(triples[o.label], sparse.Triple{Row: int(o.u), Col: int(o.v), Val: 1})
+			}
+		case "remove-edge":
+			if b.RemoveEdge(o.u, o.label, o.v) {
+				triples[o.label] = append(triples[o.label], sparse.Triple{Row: int(o.u), Col: int(o.v), Val: -1})
+			}
+		case "add-node":
+			b.AddNode("", "")
+		}
+	}
+	next := b.Build()
+	d := CommitDelta{
+		From:   from,
+		To:     from + 1,
+		OldN:   snap.NumNodes(),
+		NewN:   next.NumNodes(),
+		Labels: make(map[string]*sparse.Matrix, len(triples)),
+	}
+	touched := make([]string, 0, len(triples))
+	for l, ts := range triples {
+		d.Labels[l] = sparse.New(d.NewN, ts)
+		touched = append(touched, l)
+	}
+	return next, d, touched, b.NodesAdded()
+}
+
+// entriesAt snapshots the cached (pattern, matrix) pairs at version v.
+func entriesAt(c *Cache, v uint64) map[string]*sparse.Matrix {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]*sparse.Matrix)
+	if b, ok := c.versions[v]; ok {
+		for p, ent := range b.entries {
+			out[p] = ent.m
+		}
+	}
+	return out
+}
+
+// checkAgainstRecompute recomputes every cached entry at version v from
+// the snapshot with a fresh evaluator and private cache, asserting the
+// maintained matrix is Equal — which, since every kernel emits
+// canonical CSR (sorted, no explicit zeros) and canonical CSR is unique
+// per matrix value, is byte-identity of the representation.
+func checkAgainstRecompute(t *testing.T, c *Cache, v uint64, snap *graph.Snapshot) {
+	t.Helper()
+	for key, m := range entriesAt(c, v) {
+		p, err := rre.Parse(key)
+		if err != nil {
+			t.Fatalf("unparseable cache key %q: %v", key, err)
+		}
+		want := NewVersioned(snap, 0, NewCache()).Commuting(p)
+		if !m.Equal(want) {
+			t.Fatalf("maintained %q at v%d diverges from recompute:\ngot\n%vwant\n%v", key, v, m, want)
+		}
+	}
+}
+
+// --- table-driven rule tests -----------------------------------------------
+
+// fixtureSnap builds the fixed 5-node fixture used by the rule tests.
+func fixtureSnap() *graph.Snapshot {
+	g := graph.New()
+	for i := 0; i < 5; i++ {
+		g.AddNode("", "")
+	}
+	g.AddEdge(0, "a", 1)
+	g.AddEdge(1, "a", 2)
+	g.AddEdge(1, "b", 3)
+	g.AddEdge(3, "b", 4)
+	g.AddEdge(2, "c", 0)
+	g.AddEdge(4, "c", 2)
+	return g.Snapshot()
+}
+
+// TestMaintainRules exercises each delta rule in isolation: the pattern
+// is materialized at v0, a commit batch runs, and the maintained entry
+// at v1 must be byte-identical to a recompute from the new snapshot.
+func TestMaintainRules(t *testing.T) {
+	cases := []struct {
+		name    string
+		pattern string
+		ops     []deltaOp
+	}{
+		{"label add", "a", []deltaOp{{op: "add-edge", u: 2, v: 4, label: "a"}}},
+		{"label remove", "a", []deltaOp{{op: "remove-edge", u: 0, v: 1, label: "a"}}},
+		{"label add and remove", "a", []deltaOp{
+			{op: "add-edge", u: 2, v: 4, label: "a"},
+			{op: "remove-edge", u: 1, v: 2, label: "a"},
+		}},
+		{"add then remove same edge cancels", "a", []deltaOp{
+			{op: "add-edge", u: 2, v: 4, label: "a"},
+			{op: "remove-edge", u: 2, v: 4, label: "a"},
+		}},
+		{"transpose", "a-", []deltaOp{{op: "add-edge", u: 3, v: 0, label: "a"}}},
+		{"alt", "a + b", []deltaOp{
+			{op: "add-edge", u: 0, v: 3, label: "a"},
+			{op: "remove-edge", u: 1, v: 3, label: "b"},
+		}},
+		{"mul left factor", "a.b", []deltaOp{{op: "add-edge", u: 0, v: 3, label: "a"}}},
+		{"mul right factor", "a.b", []deltaOp{{op: "remove-edge", u: 1, v: 3, label: "b"}}},
+		{"mul both factors (cross term)", "a.b", []deltaOp{
+			{op: "add-edge", u: 0, v: 3, label: "a"},
+			{op: "add-edge", u: 3, v: 1, label: "b"},
+		}},
+		{"mul chain", "a.b.c", []deltaOp{
+			{op: "add-edge", u: 0, v: 3, label: "b"},
+			{op: "remove-edge", u: 4, v: 2, label: "c"},
+		}},
+		{"boolean recompute from child", "<a.b>", []deltaOp{{op: "add-edge", u: 0, v: 3, label: "a"}}},
+		{"nest recompute from child", "[a.b]", []deltaOp{{op: "add-edge", u: 0, v: 3, label: "a"}}},
+		{"star recompute from child", "a*", []deltaOp{{op: "add-edge", u: 2, v: 3, label: "a"}}},
+		{"star untouched child grows", "a*", []deltaOp{{op: "add-node"}}},
+		{"node addition grows everything", "a.b", []deltaOp{
+			{op: "add-node"},
+			{op: "add-edge", u: 1, v: 5, label: "b"},
+		}},
+		{"composite", "(a + b-).c", []deltaOp{
+			{op: "add-edge", u: 0, v: 4, label: "b"},
+			{op: "remove-edge", u: 2, v: 0, label: "c"},
+			{op: "add-node"},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			snap := fixtureSnap()
+			cache := NewCache()
+			NewVersioned(snap, 0, cache).Commuting(rre.MustParse(tc.pattern))
+			next, d, touched, nodesAdded := applyBatch(snap, 0, tc.ops)
+			res := cache.Maintain(next, d, MaintainOptions{})
+			cache.Advance(0, 1, touched, nodesAdded, false)
+			if res.Fallbacks != 0 {
+				t.Fatalf("unexpected fallbacks: %+v", res)
+			}
+			if len(d.Labels) > 0 || nodesAdded {
+				if res.Maintained == 0 {
+					t.Fatalf("nothing maintained: %+v", res)
+				}
+				key := rre.MustParse(tc.pattern).String()
+				if _, ok := entriesAt(cache, 1)[key]; !ok {
+					t.Fatalf("maintained root %q missing at v1", key)
+				}
+			}
+			checkAgainstRecompute(t, cache, 1, next)
+		})
+	}
+}
+
+// TestMaintainDensityFallback: a delta denser than the threshold must
+// not be maintained — the pattern falls back to evict-and-recompute.
+func TestMaintainDensityFallback(t *testing.T) {
+	snap := fixtureSnap()
+	cache := NewCache()
+	NewVersioned(snap, 0, cache).Commuting(rre.MustParse("a.b"))
+	next, d, touched, _ := applyBatch(snap, 0, []deltaOp{{op: "add-edge", u: 0, v: 3, label: "a"}})
+	res := cache.Maintain(next, d, MaintainOptions{MaxDensity: 1e-9})
+	if res.Maintained != 0 || res.Fallbacks == 0 {
+		t.Fatalf("expected pure fallback under tiny density budget, got %+v", res)
+	}
+	cache.Advance(0, 1, touched, false, false)
+	if got := entriesAt(cache, 1); len(got) != len(entriesAt(cache, 0)) && func() bool {
+		_, ok := got["a.b"]
+		return ok
+	}() {
+		t.Fatalf("dense pattern must not survive at v1: %v", got)
+	}
+	// The evicted pattern recomputes correctly on the next read.
+	m := NewVersioned(next, 1, cache).Commuting(rre.MustParse("a.b"))
+	want := NewVersioned(next, 0, NewCache()).Commuting(rre.MustParse("a.b"))
+	if !m.Equal(want) {
+		t.Fatal("recompute after fallback diverges")
+	}
+}
+
+// TestMaintainSkipsUntouchedPatterns: maintenance only walks stale
+// roots; an untouched pattern is neither walked nor duplicated (Advance
+// carries it).
+func TestMaintainSkipsUntouchedPatterns(t *testing.T) {
+	snap := fixtureSnap()
+	cache := NewCache()
+	ev := NewVersioned(snap, 0, cache)
+	ev.Commuting(rre.MustParse("c"))
+	ev.Commuting(rre.MustParse("a"))
+	next, d, touched, _ := applyBatch(snap, 0, []deltaOp{{op: "add-edge", u: 0, v: 3, label: "a"}})
+	res := cache.Maintain(next, d, MaintainOptions{})
+	if res.Roots != 1 {
+		t.Fatalf("Roots = %d, want 1 (only the pattern mentioning a)", res.Roots)
+	}
+	cache.Advance(0, 1, touched, false, false)
+	ents := entriesAt(cache, 1)
+	if len(ents) != 2 {
+		t.Fatalf("entries at v1 = %d, want 2 (carried c + maintained a)", len(ents))
+	}
+	checkAgainstRecompute(t, cache, 1, next)
+}
+
+// --- differential harness --------------------------------------------------
+
+// randDeltaPattern generates a random RRE over the labels with bounded
+// size, covering every node kind the maintenance engine handles.
+func randDeltaPattern(rng *rand.Rand, labels []string, depth int) *rre.Pattern {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		return rre.Label(labels[rng.Intn(len(labels))])
+	}
+	sub := func() *rre.Pattern { return randDeltaPattern(rng, labels, depth-1) }
+	switch rng.Intn(9) {
+	case 0:
+		return rre.Rev(sub())
+	case 1, 2:
+		return rre.Concat(sub(), sub())
+	case 3:
+		return rre.Concat(sub(), sub(), sub())
+	case 4:
+		return rre.Alt(sub(), sub())
+	case 5:
+		return rre.Skip(sub())
+	case 6:
+		return rre.Nest(sub())
+	case 7:
+		return rre.Star(sub())
+	default:
+		return rre.Concat(sub(), rre.Alt(sub(), sub()))
+	}
+}
+
+// randBatch generates a random mutation batch including edge removals
+// and node additions.
+func randBatch(rng *rand.Rand, n int, labels []string) []deltaOp {
+	ops := make([]deltaOp, 0, 4)
+	for i := 0; i < 1+rng.Intn(4); i++ {
+		switch r := rng.Intn(10); {
+		case r < 5:
+			ops = append(ops, deltaOp{op: "add-edge",
+				u: graph.NodeID(rng.Intn(n)), v: graph.NodeID(rng.Intn(n)),
+				label: labels[rng.Intn(len(labels))]})
+		case r < 9:
+			ops = append(ops, deltaOp{op: "remove-edge",
+				u: graph.NodeID(rng.Intn(n)), v: graph.NodeID(rng.Intn(n)),
+				label: labels[rng.Intn(len(labels))]})
+		default:
+			ops = append(ops, deltaOp{op: "add-node"})
+			n++
+		}
+	}
+	return ops
+}
+
+// TestDeltaMaintainDifferential is the correctness harness for the
+// tentpole: across hundreds of seeded mutate/query interleavings
+// (including edge removals and node additions), every matrix the
+// maintenance engine produces must be byte-identical to one recomputed
+// from the new snapshot, and reads served through the maintained cache
+// must match a cache-less evaluation.
+func TestDeltaMaintainDifferential(t *testing.T) {
+	labels := []string{"a", "b", "c"}
+	const graphs, rounds = 30, 10
+	interleavings := 0
+	totalMaintained, totalFallbacks, removals, nodeAdds := 0, 0, 0, 0
+
+	for _, canonical := range []bool{false, true} {
+		for gi := 0; gi < graphs; gi++ {
+			rng := rand.New(rand.NewSource(int64(1000*gi + 7)))
+			snap := randomGraph(rng, 6+rng.Intn(8), 14+rng.Intn(16), labels).Snapshot()
+			cache := NewCache()
+			pool := make([]*rre.Pattern, 6)
+			for i := range pool {
+				pool[i] = randDeltaPattern(rng, labels, 2)
+			}
+			version := uint64(0)
+			for r := 0; r < rounds; r++ {
+				// Query phase: materialize a random subset at the current
+				// version through the shared cache.
+				ev := NewVersioned(snap, version, cache)
+				ev.SetCanonicalKeys(canonical)
+				for i := 0; i < 2; i++ {
+					ev.Commuting(pool[rng.Intn(len(pool))])
+				}
+
+				// Mutate phase: commit a batch, maintain, advance.
+				ops := randBatch(rng, snap.NumNodes(), labels)
+				for _, o := range ops {
+					switch o.op {
+					case "remove-edge":
+						removals++
+					case "add-node":
+						nodeAdds++
+					}
+				}
+				next, d, touched, nodesAdded := applyBatch(snap, version, ops)
+				res := cache.Maintain(next, d, MaintainOptions{})
+				cache.Advance(version, version+1, touched, nodesAdded, false)
+				totalMaintained += res.Maintained
+				totalFallbacks += res.Fallbacks
+				snap, version = next, version+1
+				interleavings++
+
+				// Verify every cached matrix at the new version against a
+				// from-scratch recompute.
+				checkAgainstRecompute(t, cache, version, snap)
+
+				// And that a read through the maintained cache matches a
+				// cache-less evaluation.
+				ev = NewVersioned(snap, version, cache)
+				ev.SetCanonicalKeys(canonical)
+				p := pool[rng.Intn(len(pool))]
+				got := ev.Commuting(p)
+				want := NewVersioned(snap, 0, NewCache()).Commuting(p)
+				if !got.Equal(want) {
+					t.Fatalf("graph %d round %d: served read for %s diverges", gi, r, p)
+				}
+			}
+		}
+	}
+
+	if interleavings < 500 {
+		t.Fatalf("only %d interleavings, acceptance requires >= 500", interleavings)
+	}
+	if totalMaintained == 0 {
+		t.Fatal("maintenance never maintained anything — harness is vacuous")
+	}
+	if removals == 0 || nodeAdds == 0 {
+		t.Fatalf("harness must include removals (%d) and node additions (%d)", removals, nodeAdds)
+	}
+	t.Logf("interleavings=%d maintained=%d fallbacks=%d removals=%d nodeAdds=%d",
+		interleavings, totalMaintained, totalFallbacks, removals, nodeAdds)
+}
+
+// --- fuzz ------------------------------------------------------------------
+
+// FuzzDeltaMaintain fuzzes the maintenance engine: an arbitrary pattern
+// is materialized over the fixture, an arbitrary op-stream commits, and
+// the maintained entries must recompute identically.
+func FuzzDeltaMaintain(f *testing.F) {
+	f.Add("a.b", []byte{0, 0, 0, 3})
+	f.Add("a.b.c", []byte{1, 0, 0, 1, 0, 1, 1, 2})
+	f.Add("(a + b-).c", []byte{2, 0, 0, 0, 0, 1, 2, 5})
+	f.Add("<a.b>", []byte{0, 2, 1, 4, 1, 1, 1, 3})
+	f.Add("[b.c]", []byte{0, 1, 2, 2, 2, 0, 0, 0})
+	f.Add("a*", []byte{0, 0, 2, 3, 1, 0, 0, 1})
+	f.Add("(a.b)- + c", []byte{2, 0, 0, 0, 2, 1, 1, 1, 0, 0, 0, 5})
+	f.Add("<b+c>*.a", []byte{1, 3, 1, 4, 0, 4, 2, 0})
+
+	f.Fuzz(func(t *testing.T, pattern string, opBytes []byte) {
+		if len(pattern) > 48 || len(opBytes) > 40 {
+			t.Skip("oversized input")
+		}
+		p, err := rre.Parse(pattern)
+		if err != nil || p.Size() > 24 {
+			t.Skip("not a small pattern")
+		}
+		snap := fixtureSnap()
+		cache := NewCache()
+		NewVersioned(snap, 0, cache).Commuting(p)
+
+		labels := []string{"a", "b", "c"}
+		var ops []deltaOp
+		nodes := snap.NumNodes()
+		for i := 0; i+3 < len(opBytes); i += 4 {
+			kind, u, l, v := opBytes[i]%10, opBytes[i+1], opBytes[i+2], opBytes[i+3]
+			switch {
+			case kind < 5:
+				ops = append(ops, deltaOp{op: "add-edge",
+					u: graph.NodeID(int(u) % nodes), v: graph.NodeID(int(v) % nodes),
+					label: labels[int(l)%len(labels)]})
+			case kind < 9:
+				ops = append(ops, deltaOp{op: "remove-edge",
+					u: graph.NodeID(int(u) % nodes), v: graph.NodeID(int(v) % nodes),
+					label: labels[int(l)%len(labels)]})
+			default:
+				ops = append(ops, deltaOp{op: "add-node"})
+				nodes++
+			}
+		}
+		next, d, touched, nodesAdded := applyBatch(snap, 0, ops)
+		cache.Maintain(next, d, MaintainOptions{})
+		cache.Advance(0, 1, touched, nodesAdded, false)
+		checkAgainstRecompute(t, cache, 1, next)
+	})
+}

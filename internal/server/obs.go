@@ -329,6 +329,25 @@ func (s *Server) instrumentEngine(reg *telemetry.Registry) {
 		"Matrix products performed by evaluators bound to this server.",
 		func() float64 { return float64(s.nProducts.Load()) })
 
+	reg.CounterFunc("relsim_delta_commits_total",
+		"Commits that ran incremental cache maintenance.",
+		func() float64 { return float64(s.nDeltaCommits.Load()) })
+	reg.CounterFunc("relsim_delta_roots_total",
+		"Stale cached patterns eligible for incremental maintenance.",
+		func() float64 { return float64(s.nDeltaRoots.Load()) })
+	reg.CounterFunc("relsim_delta_maintained_total",
+		"Cached patterns patched forward by delta products instead of evicted.",
+		func() float64 { return float64(s.nDeltaMaintained.Load()) })
+	reg.CounterFunc("relsim_delta_fallbacks_total",
+		"Patterns maintenance gave up on (dense delta or unwalkable key).",
+		func() float64 { return float64(s.nDeltaFallbacks.Load()) })
+	reg.CounterFunc("relsim_delta_products_total",
+		"Sparse products spent applying commit deltas.",
+		func() float64 { return float64(s.nDeltaProducts.Load()) })
+	s.deltaDur = reg.Histogram("relsim_delta_maintenance_seconds",
+		"Wall time per commit spent maintaining cached matrices.",
+		nil).With()
+
 	reg.CounterFunc("relsim_workload_planned_batches_total",
 		"Batches that completed a workload plan.",
 		func() float64 { return float64(s.nPlanned.Load()) })

@@ -134,6 +134,21 @@ type Server struct {
 	// performed by every evaluator bound to this server (the mul-hook
 	// count).
 	nPlanned, nDeduped, nProductsSaved, nUnplannable, nProducts atomic.Uint64
+
+	// Incremental cache maintenance (delta SpGEMM): when deltaMaintain
+	// is on, the commit hook patches stale cached matrices to the new
+	// version instead of evicting them; deltaMaxDensity is the per-node
+	// delta-density fallback threshold. The counters accumulate
+	// Cache.Maintain results across commits; deltaNanos is the total
+	// wall time spent maintaining, and deltaDur the latency histogram
+	// handle (nil without instrumentation — a no-op sink).
+	deltaMaintain   bool
+	deltaMaxDensity float64
+	deltaDur        *telemetry.Metric
+
+	nDeltaCommits, nDeltaRoots, nDeltaMaintained atomic.Uint64
+	nDeltaFallbacks, nDeltaProducts              atomic.Uint64
+	deltaNanos                                   atomic.Int64
 }
 
 // Option configures a Server.
@@ -273,6 +288,34 @@ func WithAccessLog(w io.Writer, jsonFormat bool) Option {
 	}
 }
 
+// WithDeltaMaintenance toggles incremental maintenance of the shared
+// commuting-matrix cache (default on): the commit hook summarizes each
+// write batch as a signed sparse delta per touched label and patches
+// stale cached matrices to the new version with delta-shaped products,
+// instead of evicting them to be recomputed from scratch on the next
+// read. Off restores the pure evict-on-write lifecycle — the ablation
+// baseline for the delta benchmark. Either way results are identical:
+// maintained matrices are byte-for-byte the ones a recompute would
+// produce.
+func WithDeltaMaintenance(on bool) Option {
+	return func(s *Server) { s.deltaMaintain = on }
+}
+
+// WithDeltaMaxDensity sets the density threshold at which incremental
+// maintenance of a pattern gives up and falls back to eviction: if the
+// delta at any expression node exceeds f·n² nonzeros, the distributive
+// expansion costs as much as recomputation. f <= 0 restores the
+// default (eval.DefaultMaxDeltaDensity).
+func WithDeltaMaxDensity(f float64) Option {
+	return func(s *Server) {
+		if f > 0 {
+			s.deltaMaxDensity = f
+		} else {
+			s.deltaMaxDensity = eval.DefaultMaxDeltaDensity
+		}
+	}
+}
+
 // expandEntry is one memoized Algorithm-1 expansion with its LRU tick.
 type expandEntry struct {
 	ps   []*rre.Pattern
@@ -304,6 +347,9 @@ func New(st *store.Store, sc *schema.Schema, opts ...Option) *Server {
 		expand:      make(map[string]*expandEntry),
 		expandLimit: DefaultExpandCacheLimit,
 		instrument:  true,
+
+		deltaMaintain:   true,
+		deltaMaxDensity: eval.DefaultMaxDeltaDensity,
 	}
 	for _, o := range opts {
 		o(s)
@@ -385,34 +431,48 @@ func (s *Server) evaluator(snap *graph.Snapshot, version uint64) *eval.Evaluator
 // ageCache translates a committed update batch into versioned-cache
 // maintenance. Correctness never requires invalidation under MVCC (all
 // entries are keyed by immutable versions); this is the proactive pass
-// that keeps the cache hot and bounded: entries at the pre-write
-// version whose patterns are untouched carry forward to the new version
-// (so the next read hits), touched ones are evicted
-// (Cache.InvalidateLabels semantics), and entries below the oldest
-// still-pinned version are dropped entirely. It runs after publication,
-// still on the writer's goroutine, so batches age the cache in commit
-// order.
+// that keeps the cache hot and bounded. With delta maintenance on, the
+// batch is first summarized as a signed sparse delta per touched label
+// and every stale cached pattern is patched to the new version by
+// delta-shaped products (Cache.Maintain) — so the next read of a hot
+// pattern hits instead of recomputing. Advance then carries untouched
+// patterns forward and evicts whatever maintenance did not (or could
+// not) patch, and EvictBelow drops entries below the oldest
+// still-pinned version. It runs after publication, still on the
+// writer's goroutine, so batches age the cache in commit order —
+// which also means the live snapshot here is exactly the batch's
+// post-commit version.
 func (s *Server) ageCache(updates []store.Update) {
-	labels := make(map[string]bool)
-	nodesChanged := false
-	for _, u := range updates {
-		if u.Op == store.OpAddNode {
-			nodesChanged = true
-			continue
-		}
-		labels[u.Edge.Label] = true
-	}
-	ls := make([]string, 0, len(labels))
-	for l := range labels {
-		ls = append(ls, l)
-	}
-	from := updates[0].Version - 1
-	to := updates[len(updates)-1].Version
+	d := store.SummarizeUpdates(updates)
+	ls := d.Labels()
+	nodesChanged := d.NodesAdded > 0
 	oldestPinned := s.st.OldestPinned()
+	if s.deltaMaintain && (len(ls) > 0 || nodesChanged) {
+		if snap, ver := s.st.Snapshot(); ver == d.To {
+			start := time.Now()
+			n := snap.NumNodes()
+			res := s.cache.Maintain(snap, eval.CommitDelta{
+				From:   d.From,
+				To:     d.To,
+				OldN:   n - d.NodesAdded,
+				NewN:   n,
+				Labels: d.LabelDeltas(n),
+			}, eval.MaintainOptions{MaxDensity: s.deltaMaxDensity, Gate: s.gate})
+			elapsed := time.Since(start)
+			s.nDeltaCommits.Add(1)
+			s.nDeltaRoots.Add(uint64(res.Roots))
+			s.nDeltaMaintained.Add(uint64(res.Maintained))
+			s.nDeltaFallbacks.Add(uint64(res.Fallbacks))
+			s.nDeltaProducts.Add(uint64(res.Products))
+			s.deltaNanos.Add(elapsed.Nanoseconds())
+			s.deltaDur.Observe(elapsed.Seconds())
+		}
+	}
 	// Readers still pinned at the pre-write version keep their entries
 	// (Advance copies instead of moving); EvictBelow reaps them — and
-	// any older version's leftovers — once no pin needs them.
-	s.cache.Advance(from, to, ls, nodesChanged, oldestPinned <= from)
+	// any older version's leftovers — once no pin needs them. Advance
+	// keeps the entries Maintain pre-inserted at the new version.
+	s.cache.Advance(d.From, d.To, ls, nodesChanged, oldestPinned <= d.From)
 	s.cache.EvictBelow(oldestPinned)
 }
 
@@ -507,6 +567,21 @@ type WorkloadStats struct {
 	ProductsMaterialized uint64 `json:"products_materialized"`
 }
 
+// DeltaStats is the /stats view of incremental cache maintenance:
+// commits that ran maintenance, stale patterns eligible (roots),
+// patterns patched forward vs. left to evict-and-recompute, sparse
+// products spent on deltas, and total maintenance wall time.
+type DeltaStats struct {
+	Enabled            bool    `json:"enabled"`
+	MaxDensity         float64 `json:"max_density"`
+	Commits            uint64  `json:"commits"`
+	Roots              uint64  `json:"roots"`
+	Maintained         uint64  `json:"maintained"`
+	Fallbacks          uint64  `json:"fallbacks"`
+	Products           uint64  `json:"products"`
+	MaintenanceSeconds float64 `json:"maintenance_seconds"`
+}
+
 // ExpandMemoStats is the /stats view of the bounded Algorithm-1
 // expansion memo.
 type ExpandMemoStats struct {
@@ -526,6 +601,7 @@ type StatsResponse struct {
 	// of the cache serves the live version vs. still-pinned history.
 	CacheVersions map[uint64]int        `json:"cache_versions"`
 	Workload      WorkloadStats         `json:"workload"`
+	Delta         DeltaStats            `json:"delta"`
 	Durability    store.DurabilityStats `json:"durability"`
 	ExpandMemo    ExpandMemoStats       `json:"expand_memo"`
 	// Replication reports follower lag and sync counters; nil on a
@@ -571,11 +647,26 @@ func (s *Server) Stats() StatsResponse {
 			UnplannablePatterns:  s.nUnplannable.Load(),
 			ProductsMaterialized: s.nProducts.Load(),
 		},
+		Delta:         s.deltaStats(),
 		Durability:    dur,
 		ExpandMemo:    memo,
 		Replication:   repl,
 		Requests:      s.requestCounts(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
+}
+
+// deltaStats snapshots the incremental-maintenance counters.
+func (s *Server) deltaStats() DeltaStats {
+	return DeltaStats{
+		Enabled:            s.deltaMaintain,
+		MaxDensity:         s.deltaMaxDensity,
+		Commits:            s.nDeltaCommits.Load(),
+		Roots:              s.nDeltaRoots.Load(),
+		Maintained:         s.nDeltaMaintained.Load(),
+		Fallbacks:          s.nDeltaFallbacks.Load(),
+		Products:           s.nDeltaProducts.Load(),
+		MaintenanceSeconds: float64(s.deltaNanos.Load()) / float64(time.Second),
 	}
 }
 

@@ -190,8 +190,10 @@ func TestExplain(t *testing.T) {
 }
 
 // TestMutationRoundTrip is the acceptance scenario: a mutation changes a
-// repeated search's answer, bumps the version, and evicts only the
-// cached matrices whose pattern mentions the touched label.
+// repeated search's answer, bumps the version, carries untouched cached
+// matrices forward, and patches the touched one to the new version by
+// incremental maintenance — so the post-write reads of both are cache
+// hits.
 func TestMutationRoundTrip(t *testing.T) {
 	srv, ts := newTestServer(t)
 
@@ -218,14 +220,18 @@ func TestMutationRoundTrip(t *testing.T) {
 		t.Errorf("mutation response = %+v", mut)
 	}
 
-	// Selective invalidation: only the "cites" matrix went; the three
-	// "by" matrices (by, by-, by.by-) survive.
+	// Selective maintenance: only the "cites" matrix was stale (one
+	// invalidation of the old-version copy), and delta maintenance
+	// replaced it at the new version instead of shrinking the cache.
 	cacheAfter := srv.Cache().Stats()
 	if got, want := cacheAfter.Invalidations-cacheBefore.Invalidations, uint64(1); got != want {
 		t.Errorf("invalidated %d entries, want %d (only the cites matrix)", got, want)
 	}
-	if cacheAfter.Size != cacheBefore.Size-1 {
-		t.Errorf("cache size %d → %d, want exactly one entry evicted", cacheBefore.Size, cacheAfter.Size)
+	if cacheAfter.Size != cacheBefore.Size {
+		t.Errorf("cache size %d → %d, want the maintained entry to replace the stale one", cacheBefore.Size, cacheAfter.Size)
+	}
+	if ds := srv.Stats().Delta; ds.Commits != 1 || ds.Maintained != 1 || ds.Fallbacks != 0 {
+		t.Errorf("delta stats = %+v, want one commit maintaining one pattern", ds)
 	}
 
 	// The repeated "by" search is served entirely from cache…
@@ -239,11 +245,16 @@ func TestMutationRoundTrip(t *testing.T) {
 		t.Error("repeated by.by- search did not hit the cache")
 	}
 
-	// …and the cites search reflects the new edge.
+	// …and the cites search reflects the new edge — served from the
+	// maintained matrix, not a recompute.
+	preCites := srv.Cache().Stats()
 	var cites SearchResponse
 	post(t, ts, "/search", SearchRequest{Pattern: "cites", Query: "p1", Alg: "relsim"}, &cites)
 	if cites.Version != 1 {
 		t.Errorf("search version = %d, want 1", cites.Version)
+	}
+	if st := srv.Cache().Stats(); st.Misses != preCites.Misses {
+		t.Errorf("post-write cites search recomputed: misses %d → %d, want the maintained entry to hit", preCites.Misses, st.Misses)
 	}
 
 	// /stats agrees on the bumped version.

@@ -1,0 +1,197 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// noExplicitZeros reports whether m stores no explicit zero entries —
+// the canonical-form invariant that makes Equal equivalent to
+// byte-identity after signed delta application.
+func noExplicitZeros(m *Matrix) bool {
+	for _, v := range m.val {
+		if v == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSubAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		n := 1 + rng.Intn(12)
+		a := randomMatrix(rng, n, rng.Intn(3*n))
+		b := randomMatrix(rng, n, rng.Intn(3*n))
+		got := a.Sub(b)
+		da, db := dense(a), dense(b)
+		for r := 0; r < n; r++ {
+			for c := 0; c < n; c++ {
+				if want := da[r][c] - db[r][c]; got.At(r, c) != want {
+					t.Fatalf("iter %d: Sub(%d,%d) = %d, want %d", iter, r, c, got.At(r, c), want)
+				}
+			}
+		}
+		if !noExplicitZeros(got) {
+			t.Fatalf("iter %d: Sub left explicit zeros", iter)
+		}
+	}
+}
+
+func TestSubSelfIsCanonicalZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 50; iter++ {
+		n := 1 + rng.Intn(10)
+		a := randomMatrix(rng, n, rng.Intn(3*n))
+		z := a.Sub(a)
+		if !z.Equal(Zero(n)) {
+			t.Fatalf("iter %d: a−a not Equal to Zero", iter)
+		}
+		if z.NNZ() != 0 {
+			t.Fatalf("iter %d: a−a kept %d explicit entries", iter, z.NNZ())
+		}
+	}
+}
+
+// TestAddSubRoundTrip locks in the signed-cancellation property the
+// delta engine depends on: applying a delta and then its negation
+// restores a matrix byte-identically, with no explicit-zero residue.
+func TestAddSubRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for iter := 0; iter < 200; iter++ {
+		n := 1 + rng.Intn(12)
+		a := randomMatrix(rng, n, rng.Intn(3*n))
+		d := randomMatrix(rng, n, rng.Intn(2*n))
+		back := a.Add(d).Sub(d)
+		if !back.Equal(a) {
+			t.Fatalf("iter %d: (a+d)−d != a", iter)
+		}
+		if !noExplicitZeros(back) {
+			t.Fatalf("iter %d: round trip left explicit zeros", iter)
+		}
+	}
+}
+
+// TestAddThenRemoveEdgeLeavesNoResidue is the satellite property test:
+// a commit that adds an edge and a later commit that removes it must
+// leave the adjacency matrix with no explicit zero at that slot.
+func TestAddThenRemoveEdgeLeavesNoResidue(t *testing.T) {
+	adj := New(4, []Triple{{0, 1, 1}, {2, 3, 1}})
+	addDelta := New(4, []Triple{{1, 2, 1}})
+	removeDelta := New(4, []Triple{{1, 2, -1}})
+	after := adj.Add(addDelta).Add(removeDelta)
+	if !after.Equal(adj) {
+		t.Fatalf("add-then-remove did not restore the original matrix:\n%v", after)
+	}
+	if !noExplicitZeros(after) {
+		t.Fatal("add-then-remove left an explicit zero entry")
+	}
+	if after.NNZ() != adj.NNZ() {
+		t.Fatalf("NNZ = %d, want %d", after.NNZ(), adj.NNZ())
+	}
+}
+
+func TestGrow(t *testing.T) {
+	m := New(3, []Triple{{0, 2, 5}, {2, 1, -1}})
+	g := m.Grow(6)
+	if g.Dim() != 6 || g.NNZ() != m.NNZ() {
+		t.Fatalf("Grow: dim=%d nnz=%d, want 6/%d", g.Dim(), g.NNZ(), m.NNZ())
+	}
+	if g.At(0, 2) != 5 || g.At(2, 1) != -1 || g.At(5, 5) != 0 {
+		t.Fatal("Grow moved entries")
+	}
+	// Growing must commute with rebuilding from triples (byte-identity).
+	want := New(6, []Triple{{0, 2, 5}, {2, 1, -1}})
+	if !g.Equal(want) {
+		t.Fatal("Grow not Equal to rebuilt matrix")
+	}
+	if got := m.Grow(3); got != m {
+		t.Fatal("Grow to same dim should return the receiver")
+	}
+}
+
+func TestGrowPanicsOnShrink(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shrink")
+		}
+	}()
+	New(3, nil).Grow(2)
+}
+
+func TestIdentityRange(t *testing.T) {
+	m := IdentityRange(5, 2, 4)
+	want := New(5, []Triple{{2, 2, 1}, {3, 3, 1}})
+	if !m.Equal(want) {
+		t.Fatalf("IdentityRange(5,2,4) =\n%v\nwant\n%v", m, want)
+	}
+	if !IdentityRange(4, 0, 4).Equal(Identity(4)) {
+		t.Fatal("IdentityRange(n,0,n) != Identity(n)")
+	}
+	if IdentityRange(4, 2, 2).NNZ() != 0 {
+		t.Fatal("empty range should have no entries")
+	}
+	// The grown-identity law the Eps delta rule relies on.
+	grown := Identity(3).Grow(5).Add(IdentityRange(5, 3, 5))
+	if !grown.Equal(Identity(5)) {
+		t.Fatal("Grow+IdentityRange != Identity at new dim")
+	}
+}
+
+// TestMulFewRowsMatchesSerial proves the ultra-sparse kernel is
+// bit-identical to the Gustavson kernel, both invoked directly and via
+// the MulThresh gate.
+func TestMulFewRowsMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 200; iter++ {
+		n := 32 + rng.Intn(64)
+		// Left operand: a delta-shaped matrix with very few entries,
+		// signed values so exact cancellation paths are exercised.
+		k := 1 + rng.Intn(3)
+		ts := make([]Triple, 0, 2*k)
+		for i := 0; i < k; i++ {
+			r := rng.Intn(n)
+			ts = append(ts, Triple{Row: r, Col: rng.Intn(n), Val: int64(rng.Intn(5) - 2)})
+			ts = append(ts, Triple{Row: r, Col: rng.Intn(n), Val: int64(rng.Intn(5) - 2)})
+		}
+		d := New(n, ts)
+		b := randomMatrix(rng, n, 4*n)
+		want := d.mulSerial(b)
+		if got := d.mulFewRows(b); !got.Equal(want) {
+			t.Fatalf("iter %d: mulFewRows != mulSerial", iter)
+		}
+		if got := d.Mul(b); !got.Equal(want) {
+			t.Fatalf("iter %d: Mul (gated) != mulSerial", iter)
+		}
+	}
+}
+
+func TestMulEmptyLeftIsZero(t *testing.T) {
+	b := New(8, []Triple{{1, 2, 3}})
+	if got := Zero(8).Mul(b); !got.Equal(Zero(8)) {
+		t.Fatal("0·B != 0")
+	}
+}
+
+func BenchmarkMulDeltaShaped(b *testing.B) {
+	rng := rand.New(rand.NewSource(23))
+	const n = 20000
+	big := randomMatrix(rng, n, 8*n)
+	delta := New(n, []Triple{
+		{Row: 17, Col: 42, Val: 1},
+		{Row: 9000, Col: 3, Val: -1},
+		{Row: 15000, Col: 19999, Val: 1},
+	})
+	b.Run("fewrows", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			delta.Mul(big)
+		}
+	})
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			delta.mulSerial(big)
+		}
+	})
+}

@@ -42,7 +42,16 @@ func (m *Matrix) MulThresh(o *Matrix, t Thresholds) *Matrix {
 	if m.n != o.n {
 		panic(fmt.Sprintf("sparse: Mul dimension mismatch %d vs %d", m.n, o.n))
 	}
-	if m.n > 0 && m.n >= t.MinDim && len(m.val)+len(o.val) >= t.MinNNZ {
+	if len(m.val) == 0 {
+		return Zero(m.n)
+	}
+	// Ultra-sparse left operand (a commit delta, typically): nnz bounds
+	// the number of nonzero rows, so visit only those rows instead of a
+	// full Gustavson pass with an O(n) dense scratch row.
+	if len(m.val)*fewRowsRatio <= m.n {
+		return m.mulFewRows(o)
+	}
+	if m.n >= t.MinDim && len(m.val)+len(o.val) >= t.MinNNZ {
 		return m.mulParallel(o)
 	}
 	return m.mulSerial(o)

@@ -1,0 +1,91 @@
+package store
+
+import (
+	"testing"
+
+	"relsim/internal/graph"
+	"relsim/internal/sparse"
+)
+
+// TestSummarizeUpdates drives real commits through a Store and checks
+// the observer-side summary matches what was committed, including the
+// signed cancellation of an edge added and removed across batches.
+func TestSummarizeUpdates(t *testing.T) {
+	st := New(nil)
+	var got []BatchDelta
+	st.OnUpdate(func(updates []Update) {
+		got = append(got, SummarizeUpdates(updates))
+	})
+
+	var a, b graph.NodeID
+	if err := st.Update(func(tx *Tx) error {
+		a = tx.AddNode("a", "")
+		b = tx.AddNode("b", "")
+		if err := tx.AddEdge(a, "knows", b); err != nil {
+			return err
+		}
+		return tx.AddEdge(a, "knows", b)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Update(func(tx *Tx) error {
+		return tx.RemoveEdge(a, "knows", b)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(got) != 2 {
+		t.Fatalf("observed %d batches, want 2", len(got))
+	}
+
+	d0 := got[0]
+	if d0.From != 0 || d0.To != 4 || d0.NodesAdded != 2 {
+		t.Fatalf("batch 0 = %+v, want From=0 To=4 NodesAdded=2", d0)
+	}
+	snap, _ := st.Snapshot()
+	n := snap.NumNodes()
+	m := d0.LabelDeltas(n)["knows"]
+	if m == nil || m.At(int(a), int(b)) != 2 {
+		t.Fatalf("batch 0 knows delta at (a,b) = %v, want 2", m)
+	}
+
+	d1 := got[1]
+	if d1.From != 4 || d1.To != 5 || d1.NodesAdded != 0 {
+		t.Fatalf("batch 1 = %+v, want From=4 To=5", d1)
+	}
+	if m := d1.LabelDeltas(n)["knows"]; m == nil || m.At(int(a), int(b)) != -1 {
+		t.Fatalf("batch 1 knows delta = %v, want -1 at (a,b)", m)
+	}
+	if ls := d1.Labels(); len(ls) != 1 || ls[0] != "knows" {
+		t.Fatalf("batch 1 labels = %v", ls)
+	}
+}
+
+// TestSummarizeCancellation: an edge added and removed in one batch
+// cancels to an empty delta matrix but still marks the label touched.
+func TestSummarizeCancellation(t *testing.T) {
+	d := SummarizeUpdates([]Update{
+		{Version: 3, Op: OpAddEdge, Edge: graph.Edge{From: 0, Label: "x", To: 1}},
+		{Version: 4, Op: OpRemoveEdge, Edge: graph.Edge{From: 0, Label: "x", To: 1}},
+	})
+	if d.From != 2 || d.To != 4 {
+		t.Fatalf("range = [%d,%d], want [2,4]", d.From, d.To)
+	}
+	m := d.LabelDeltas(2)["x"]
+	if m.NNZ() != 0 {
+		t.Fatalf("cancelled delta has %d explicit entries, want 0", m.NNZ())
+	}
+	if !m.Equal(sparse.Zero(2)) {
+		t.Fatal("cancelled delta not the canonical zero matrix")
+	}
+	if ls := d.Labels(); len(ls) != 1 {
+		t.Fatalf("labels = %v, want the touched label even when cancelled", ls)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	d := SummarizeUpdates(nil)
+	if len(d.Edges) != 0 || d.NodesAdded != 0 {
+		t.Fatalf("empty summary = %+v", d)
+	}
+}

@@ -220,6 +220,24 @@ func WithServerWorkloadPlanning(on bool) ServerOption {
 	return server.WithWorkloadPlanning(on)
 }
 
+// WithServerDeltaMaintenance toggles incremental maintenance of the
+// server's commuting-matrix cache (default on): each committed write
+// batch is summarized as a signed sparse delta per touched label, and
+// stale cached matrices are patched to the new version with
+// delta-shaped products instead of being evicted and recomputed on the
+// next read. Results are identical either way; off is the
+// evict-on-write ablation baseline.
+func WithServerDeltaMaintenance(on bool) ServerOption {
+	return server.WithDeltaMaintenance(on)
+}
+
+// WithServerDeltaMaxDensity sets the delta-density threshold (nonzeros
+// as a fraction of n²) above which maintenance of a pattern falls back
+// to evict-and-recompute. f <= 0 restores the default.
+func WithServerDeltaMaxDensity(f float64) ServerOption {
+	return server.WithDeltaMaxDensity(f)
+}
+
 // WithServerDurability toggles the server's durability surface (default
 // on): the GET /log replication catch-up feed and the durability
 // section of /stats. Turn it off when the update feed must not be
