@@ -95,6 +95,13 @@ func run(args []string) error {
 	pollInterval := fs.Duration("poll-interval", replica.DefaultPollInterval, "follower: feed poll cadence while caught up")
 	maxLag := fs.Uint64("max-lag", 0, "follower: /healthz turns 503 while replication lag exceeds this many versions (0 = unbounded)")
 	maxLagAge := fs.Duration("max-lag-age", 0, "follower: /healthz turns 503 while behind for longer than this (0 = unbounded; catches an unreachable leader, whose version lag freezes)")
+	maxInflight := fs.Int("max-inflight", 0, "admission control: max concurrently admitted evaluation/mutation requests, shedding the excess with 503 before any snapshot is pinned (0 = unlimited)")
+	queueDepth := fs.Int("queue-depth", 0, "admission control: bounded wait queue above -max-inflight; a full queue sheds immediately (0 = no queue)")
+	rate := fs.Float64("rate", 0, "per-client token-bucket rate limit in requests/second, keyed by X-Relsim-Api-Key or remote address; drained buckets answer 429 + Retry-After (0 = unlimited)")
+	burst := fs.Int("burst", 0, "per-client burst capacity above -rate (0 = a sensible default)")
+	maxCost := fs.Int("max-cost", 0, "per-request cost ceiling in estimated matrix products; costlier requests answer 422 before materialization (0 = unlimited)")
+	maxBodyBytes := fs.Int64("max-body-bytes", server.DefaultMaxBodyBytes, "request-body size bound; larger bodies answer 413 (0 = unbounded)")
+	maxTimeout := fs.Duration("max-timeout", server.DefaultMaxTimeout, "ceiling for the per-request ?timeout_ms= override; larger values are clamped (0 = no ceiling)")
 	slowQuery := fs.Duration("slow-query", 250*time.Millisecond, "slow-query log threshold: requests slower than this are captured into GET /debug/queries (0 = disabled)")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default: profiles expose process memory)")
 	logFormat := fs.String("log-format", "text", "access-log format, one line per request to stderr: text or json")
@@ -104,6 +111,8 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+
+	adm := admissionOptions(*maxInflight, *queueDepth, *rate, *burst, *maxCost, *maxBodyBytes, *maxTimeout)
 
 	if *follow != "" {
 		return runFollower(followerConfig{
@@ -116,6 +125,7 @@ func run(args []string) error {
 			pollInterval: *pollInterval, maxLag: *maxLag, maxLagAge: *maxLagAge,
 			dataset: *dataset, in: *in,
 			slowQuery: *slowQuery, pprof: *pprofOn, accessJSON: accessJSON,
+			admission: adm,
 		})
 	}
 
@@ -151,7 +161,7 @@ func run(args []string) error {
 		st.SetLogRetention(*logRetention)
 	}
 	defer st.Close()
-	srv := server.New(st, sc,
+	srvOpts := []server.Option{
 		server.WithWorkers(*workers),
 		server.WithCacheLimit(*cacheLimit),
 		server.WithTimeout(*timeout),
@@ -162,11 +172,12 @@ func run(args []string) error {
 		server.WithSlowQuery(*slowQuery),
 		server.WithPprof(*pprofOn),
 		server.WithAccessLog(os.Stderr, accessJSON),
-	)
+	}
+	srv := server.New(st, sc, append(srvOpts, adm...)...)
 
 	stats := st.Stats()
-	log.Printf("serving %d nodes, %d edges, labels %v on %s (MVCC snapshot isolation, timeout %v, workload planning %v, durable %v, slow-query %v, pprof %v)",
-		stats.Nodes, stats.Edges, stats.Labels, *addr, *timeout, *workloadPlan, st.Durable(), *slowQuery, *pprofOn)
+	log.Printf("serving %d nodes, %d edges, labels %v on %s (MVCC snapshot isolation, timeout %v, workload planning %v, durable %v, slow-query %v, pprof %v, max-inflight %d, rate %g, max-cost %d)",
+		stats.Nodes, stats.Edges, stats.Labels, *addr, *timeout, *workloadPlan, st.Durable(), *slowQuery, *pprofOn, *maxInflight, *rate, *maxCost)
 
 	return serve(srv, st, *addr, *drain, nil, nil)
 }
@@ -239,6 +250,21 @@ type followerConfig struct {
 	slowQuery                time.Duration
 	pprof                    bool
 	accessJSON               bool
+	admission                []server.Option
+}
+
+// admissionOptions folds the traffic-hardening flags into server
+// options. Followers get the identical envelope: a replica is just as
+// overloadable as its leader, and the exempt replication surface
+// (/log, /checkpoint) is never gated on either.
+func admissionOptions(maxInflight, queueDepth int, rate float64, burst, maxCost int, maxBodyBytes int64, maxTimeout time.Duration) []server.Option {
+	return []server.Option{
+		server.WithAdmissionLimits(maxInflight, queueDepth),
+		server.WithAdmissionRate(rate, burst),
+		server.WithAdmissionMaxCost(maxCost),
+		server.WithMaxBodyBytes(maxBodyBytes),
+		server.WithMaxTimeout(maxTimeout),
+	}
 }
 
 // parseLogFormat validates -log-format and reports whether the access
@@ -340,7 +366,7 @@ func runFollower(cfg followerConfig) error {
 		f.Run(tailCtx)
 	}()
 
-	srv := server.New(st, sc,
+	srvOpts := []server.Option{
 		server.WithWorkers(cfg.workers),
 		server.WithCacheLimit(cfg.cacheLimit),
 		server.WithTimeout(cfg.timeout),
@@ -352,7 +378,8 @@ func runFollower(cfg followerConfig) error {
 		server.WithSlowQuery(cfg.slowQuery),
 		server.WithPprof(cfg.pprof),
 		server.WithAccessLog(os.Stderr, cfg.accessJSON),
-	)
+	}
+	srv := server.New(st, sc, append(srvOpts, cfg.admission...)...)
 
 	stats := st.Stats()
 	log.Printf("follower of %s serving %d nodes, %d edges at version %d on %s (poll %v, max lag %d, durable %v)",

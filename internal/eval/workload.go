@@ -78,6 +78,10 @@ type WorkloadPlan struct {
 	nodes     []*planNode    // topological order: children before parents
 	unplanned []*rre.Pattern // inexactly-canonicalizable inputs, kept raw
 	stats     WorkloadStats
+	// unplannedProducts is the isolated cost of the unplanned patterns —
+	// they run outside the DAG, so Stats().Products does not count them,
+	// but EstimatedProducts (the admission-control cost surface) must.
+	unplannedProducts int
 }
 
 // nodeCost returns the number of matrix products materializing p costs
@@ -160,6 +164,8 @@ func PlanWorkload(patterns []*rre.Pattern) *WorkloadPlan {
 			wp.roots[i] = p
 			wp.unplanned = append(wp.unplanned, p)
 			wp.stats.Unplannable++
+			up, _ := isolated(p, make(map[*rre.Pattern]bool))
+			wp.unplannedProducts += up
 			continue
 		}
 		wp.roots[i] = c
@@ -199,6 +205,27 @@ func (wp *WorkloadPlan) Schedule() []*rre.Pattern {
 
 // Stats returns the plan's dedup summary.
 func (wp *WorkloadPlan) Stats() WorkloadStats { return wp.stats }
+
+// EstimatedProducts is the admission-control cost surface: the matrix
+// products executing this plan from a cold cache would perform — the
+// schedule's products plus the isolated cost of the unplannable
+// patterns that run outside the DAG. It is a static lower bound (a star
+// closure counts as one product however many squarings it iterates) and
+// deliberately ignores cache warmth: a cost ceiling must hold on the
+// first, cold evaluation of a pathological request, which is exactly
+// when it matters.
+func (wp *WorkloadPlan) EstimatedProducts() int {
+	return wp.stats.Products + wp.unplannedProducts
+}
+
+// EstimateProducts estimates the cold-cache evaluation cost of a
+// request's pattern set in matrix products, sharing subexpressions the
+// way the workload planner would. Admission control compares it against
+// the configured per-request cost ceiling before any materialization
+// starts.
+func EstimateProducts(patterns []*rre.Pattern) int {
+	return PlanWorkload(patterns).EstimatedProducts()
+}
 
 // Execute materializes the schedule into ev's cache across a pool of
 // workers. Each DAG node is dispatched once, after all of its children

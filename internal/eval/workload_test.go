@@ -154,6 +154,41 @@ func TestPlanWorkloadUnplannable(t *testing.T) {
 	}
 }
 
+// TestEstimateProducts pins the admission-control cost surface: the
+// DAG's scheduled products plus the isolated cost of unplannable
+// patterns, with sharing reflected and stars counted as one product
+// (the static lower bound).
+func TestEstimateProducts(t *testing.T) {
+	cases := []struct {
+		name     string
+		patterns []string
+		want     int
+	}{
+		{"empty", nil, 0},
+		{"single label", []string{"a"}, 0},
+		{"chain", []string{"a.b.c"}, 2},
+		{"shared chains", []string{"a.b", "a.b"}, 1},
+		{"star lower bound", []string{"a*"}, 1},
+		{"long chain", []string{"a.b.a.b.a.b.a.b"}, 7},
+		// The collapsing disjunction is unplannable: its isolated cost
+		// (two concats, one product each) still counts toward the
+		// estimate even though it runs outside the DAG.
+		{"unplannable counted", []string{"(a + b).c + (b + a).c"}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := EstimateProducts(mustParseAll(t, tc.patterns)); got != tc.want {
+				t.Fatalf("EstimateProducts(%v) = %d, want %d", tc.patterns, got, tc.want)
+			}
+		})
+	}
+	// The plan-level view agrees with the convenience wrapper.
+	ps := mustParseAll(t, []string{"a.b.c", "(a + b).c + (b + a).c"})
+	if got, want := PlanWorkload(ps).EstimatedProducts(), EstimateProducts(ps); got != want {
+		t.Fatalf("EstimatedProducts = %d, EstimateProducts = %d", got, want)
+	}
+}
+
 // TestPlanScheduleTopological: on random workloads, every node's
 // subexpressions appear before the node itself, every node is distinct,
 // and every canonical root is scheduled.

@@ -6,7 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -53,6 +55,27 @@ type SearchResponse struct {
 
 const defaultTop = 10
 
+// decodeJSON decodes a request body, writing the error response on
+// failure: 413 when the body ran past the server's MaxBytesReader bound
+// (the read stops at the bound — an unbounded /batch body is never
+// pulled fully into memory), 400 for malformed JSON.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	err := json.NewDecoder(r.Body).Decode(v)
+	if err == nil {
+		return true
+	}
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		s.writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
+			Error: fmt.Sprintf("request body exceeds the %d-byte limit", tooLarge.Limit),
+			Code:  "body_too_large",
+		})
+		return false
+	}
+	s.writeError(w, http.StatusBadRequest, err)
+	return false
+}
+
 // runSearch answers one query against the evaluator's pinned snapshot.
 // The snapshot is immutable, so the evaluation sees one consistent
 // graph version however long it runs and however many writes land
@@ -60,6 +83,9 @@ const defaultTop = 10
 // traced; /batch workers pass nil — the batch traces its phases at
 // batch granularity instead.
 func (s *Server) runSearch(ev *eval.Evaluator, req *SearchRequest, tr *Trace) (*SearchResponse, error) {
+	if s.testHookEval != nil {
+		s.testHookEval(req)
+	}
 	g := ev.Graph()
 	q, ok := resolveNode(g, req.Query)
 	if !ok {
@@ -156,10 +182,26 @@ func (s *Server) guardedSearch(ev *eval.Evaluator, req *SearchRequest, tr *Trace
 	return resp, err
 }
 
+// safeBatchSearch runs one batch query converting a worker panic into
+// that query's error. Batch workers are plain goroutines — outside
+// net/http's recovery and outside the server's panic middleware — so a
+// panic escaping one would crash the whole process, not fail one
+// request. eval.Guard only converts *eval.Canceled; anything else lands
+// here.
+func (s *Server) safeBatchSearch(ev *eval.Evaluator, req *SearchRequest) (resp *SearchResponse, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.obs.handlerPanic()
+			log.Printf("panic in batch query %q: %v\n%s", req.Query, p, debug.Stack())
+			resp, err = nil, fmt.Errorf("internal error: %v", p)
+		}
+	}()
+	return s.guardedSearch(ev, req, nil)
+}
+
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	var req SearchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	ctx, cancel, err := s.requestContext(r)
@@ -168,6 +210,17 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
+	// Cost ceiling before the pin: the pattern expansion needs only the
+	// schema (and hits the expand memo, so the handler's own expansion
+	// below is a cache hit), never a snapshot. Expansion errors fall
+	// through — the handler reports them with its usual 400.
+	if s.adm.MaxCost() > 0 {
+		if ps, _, err := s.queryPatterns(&req); err == nil && len(ps) > 0 {
+			if !s.checkCost(w, eval.EstimateProducts(ps)) {
+				return
+			}
+		}
+	}
 
 	// Pin one snapshot for the request's lifetime: the query evaluates
 	// against this frozen version, writers proceed unblocked.
@@ -247,8 +300,7 @@ type BatchResponse struct {
 // pass runs instead (the differential-test baseline).
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req BatchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	ctx, cancel, err := s.requestContext(r)
@@ -269,22 +321,36 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		workers = len(req.Queries)
 	}
 
-	pin := s.st.Pin()
-	defer pin.Release()
-	ev := s.evaluator(pin.Snapshot(), pin.Version()).WithContext(ctx)
-
 	tr := traceFrom(r.Context())
 	tr.SetBatch(len(req.Queries))
-	tr.SetVersion(pin.Version())
 
-	resp := BatchResponse{Version: pin.Version(), Results: make([]BatchResult, len(req.Queries))}
+	// Expansion and planning need only the schema, so they run — and the
+	// cost ceiling is enforced — before a snapshot is pinned: a
+	// pathological batch is rejected without ever holding a version open.
 	endExpand := tr.Phase("expand")
 	pats := s.batchPatterns(req.Queries)
 	endExpand()
+	var plan *eval.WorkloadPlan
 	if s.plan {
 		endPlan := tr.Phase("plan")
-		plan := eval.PlanWorkload(pats)
+		plan = eval.PlanWorkload(pats)
 		endPlan()
+		if !s.checkCost(w, plan.EstimatedProducts()) {
+			return
+		}
+	} else if s.adm.MaxCost() > 0 {
+		if !s.checkCost(w, eval.EstimateProducts(pats)) {
+			return
+		}
+	}
+
+	pin := s.st.Pin()
+	defer pin.Release()
+	ev := s.evaluator(pin.Snapshot(), pin.Version()).WithContext(ctx)
+	tr.SetVersion(pin.Version())
+
+	resp := BatchResponse{Version: pin.Version(), Results: make([]BatchResult, len(req.Queries))}
+	if plan != nil {
 		endMat := tr.Phase("materialize")
 		err := plan.Execute(ev, planWorkers)
 		endMat()
@@ -333,7 +399,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				res, err := s.guardedSearch(ev, &req.Queries[i], nil)
+				res, err := s.safeBatchSearch(ev, &req.Queries[i])
 				if err != nil {
 					s.obs.batchQueryError()
 					var c *eval.Canceled
@@ -483,13 +549,17 @@ const defaultExplainLimit = 10
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	var req ExplainRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	p, err := rre.Parse(req.Pattern)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Explanations evaluate the pattern's commuting matrix, so the cost
+	// ceiling applies exactly as it does on /search — before the pin.
+	if s.adm.MaxCost() > 0 && !s.checkCost(w, eval.EstimateProducts([]*rre.Pattern{p})) {
 		return
 	}
 	limit := req.Limit
@@ -719,8 +789,7 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req MutationRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	var resp MutationResponse

@@ -59,6 +59,7 @@ func endpointName(path string) string {
 type serverObs struct {
 	inFlight    *telemetry.Metric
 	queryErrors *telemetry.Metric
+	panics      *telemetry.Metric
 	phase       *telemetry.Vec
 
 	requests map[string]*telemetry.Metric
@@ -73,6 +74,8 @@ func newServerObs(reg *telemetry.Registry) *serverObs {
 			"Requests currently being served.").With(),
 		queryErrors: reg.Counter("relsim_batch_query_errors_total",
 			"Per-query errors inside /batch responses (the response itself is a 200).").With(),
+		panics: reg.Counter("relsim_http_panics_total",
+			"Handler panics recovered into 500 responses (or per-query /batch errors).").With(),
 		phase: reg.Histogram("relsim_http_request_phase_seconds",
 			"Time spent per execution phase (expand, plan, materialize, score, evaluate).",
 			nil, "endpoint", "phase"),
@@ -123,6 +126,13 @@ func (o *serverObs) batchQueryError() {
 func (o *serverObs) batchSoftTimeout() {
 	if o != nil {
 		o.timeouts["batch"].Inc()
+	}
+}
+
+// handlerPanic counts one recovered handler panic.
+func (o *serverObs) handlerPanic() {
+	if o != nil {
+		o.panics.Inc()
 	}
 }
 
@@ -179,8 +189,10 @@ func (s *Server) observed(w http.ResponseWriter, r *http.Request) {
 
 	o := s.obs
 	o.inFlight.Inc()
-	s.mux.ServeHTTP(ow, r.WithContext(withTrace(r.Context(), tr)))
-	o.inFlight.Dec()
+	// Deferred so a panic escaping the recovery layer below (it should
+	// not, but gauges must never skew) still decrements.
+	defer o.inFlight.Dec()
+	s.protected(ow, r.WithContext(withTrace(r.Context(), tr)))
 
 	dur := time.Since(tr.Start)
 	o.pick(o.requests, ep).Inc()

@@ -45,6 +45,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"relsim/internal/admission"
 	"relsim/internal/eval"
 	"relsim/internal/graph"
 	"relsim/internal/pattern"
@@ -70,6 +71,18 @@ const DefaultExpandCacheLimit = 1024
 // choose ?max=.
 const DefaultLogFeedPage = 512
 
+// DefaultMaxBodyBytes bounds request bodies (WithMaxBodyBytes): an
+// unbounded /batch JSON body would be read fully into memory before any
+// validation. 4 MiB comfortably fits thousands of queries.
+const DefaultMaxBodyBytes = 4 << 20
+
+// DefaultMaxTimeout caps the per-request ?timeout_ms= override
+// (WithMaxTimeout): a client may shorten the server deadline but not
+// extend it arbitrarily — and a huge override used to overflow the
+// millisecond multiply into a negative Duration, silently disabling the
+// deadline altogether.
+const DefaultMaxTimeout = 5 * time.Minute
+
 // maxLogFeedPage is the hard ceiling on ?max=.
 const maxLogFeedPage = 10000
 
@@ -83,6 +96,18 @@ type Server struct {
 	workers int
 	timeout time.Duration // default per-request deadline; 0 = none
 	gate    sparse.Thresholds
+
+	// Traffic hardening (see admission.go): admCfg collects the
+	// WithAdmission* options and New compiles it into adm (nil when
+	// every mechanism is disabled — the zero-overhead path). maxBody
+	// bounds request bodies (413 past it), maxTimeout caps the
+	// ?timeout_ms= override, admWait is the queued-wait histogram
+	// handle (nil without instrumentation — a no-op sink).
+	admCfg     admission.Config
+	adm        *admission.Controller
+	maxBody    int64
+	maxTimeout time.Duration
+	admWait    *telemetry.Metric
 	plan    bool // workload-aware /batch planning + canonical cache keys
 	logFeed bool // expose GET /log and /checkpoint (the replication surface)
 	mux     *http.ServeMux
@@ -149,6 +174,12 @@ type Server struct {
 	nDeltaCommits, nDeltaRoots, nDeltaMaintained atomic.Uint64
 	nDeltaFallbacks, nDeltaProducts              atomic.Uint64
 	deltaNanos                                   atomic.Int64
+
+	// testHookEval, when set (tests only), runs at the start of every
+	// query scoring pass with the request about to be scored — the
+	// lever tests use to inject controlled slowness or panics into the
+	// serving path.
+	testHookEval func(req *SearchRequest)
 }
 
 // Option configures a Server.
@@ -347,6 +378,8 @@ func New(st *store.Store, sc *schema.Schema, opts ...Option) *Server {
 		expand:      make(map[string]*expandEntry),
 		expandLimit: DefaultExpandCacheLimit,
 		instrument:  true,
+		maxBody:     DefaultMaxBodyBytes,
+		maxTimeout:  DefaultMaxTimeout,
 
 		deltaMaintain:   true,
 		deltaMaxDensity: eval.DefaultMaxDeltaDensity,
@@ -354,6 +387,7 @@ func New(st *store.Store, sc *schema.Schema, opts ...Option) *Server {
 	for _, o := range opts {
 		o(s)
 	}
+	s.adm = admission.New(s.admCfg)
 	st.OnUpdate(s.ageCache)
 	s.mux.HandleFunc("POST /search", s.handleSearch)
 	s.mux.HandleFunc("POST /batch", s.handleBatch)
@@ -369,6 +403,7 @@ func New(st *store.Store, sc *schema.Schema, opts ...Option) *Server {
 		s.reg = telemetry.NewRegistry()
 		s.obs = newServerObs(s.reg)
 		s.instrumentEngine(s.reg)
+		s.instrumentAdmission(s.reg)
 		st.Instrument(s.reg)
 		// A replication tailer that can describe itself (the concrete
 		// *replica.Follower does) joins the registry; test fakes that
@@ -393,11 +428,12 @@ func New(st *store.Store, sc *schema.Schema, opts ...Option) *Server {
 }
 
 // ServeHTTP implements http.Handler. With instrumentation on, every
-// request flows through the observability middleware; otherwise the mux
-// serves directly with zero overhead.
+// request flows through the observability middleware; either way it
+// then passes the hardened path (panic recovery, admission, body
+// bound — see protected in admission.go) before reaching the mux.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if s.obs == nil {
-		s.mux.ServeHTTP(w, r)
+		s.protected(w, r)
 		return
 	}
 	s.observed(w, r)
@@ -478,14 +514,29 @@ func (s *Server) ageCache(updates []store.Update) {
 
 // requestContext derives the evaluation context: the server default
 // timeout, overridden by a positive ?timeout_ms= query parameter.
+// Zero, negative, non-numeric and integer-overflowing overrides are a
+// 400 (they used to be partially silent); values past the server's
+// maxTimeout ceiling are clamped — a huge override used to overflow the
+// millisecond multiply into a negative Duration and silently disable
+// the deadline altogether.
 func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
 	d := s.timeout
 	if raw := r.URL.Query().Get("timeout_ms"); raw != "" {
 		ms, err := strconv.Atoi(raw)
 		if err != nil || ms <= 0 {
-			return nil, nil, fmt.Errorf("invalid timeout_ms %q", raw)
+			return nil, nil, fmt.Errorf("invalid timeout_ms %q (want a positive integer of milliseconds)", raw)
 		}
-		d = time.Duration(ms) * time.Millisecond
+		if int64(ms) > int64(1<<62)/int64(time.Millisecond) {
+			// Would overflow the Duration multiply; any sane ceiling is
+			// lower, and with no ceiling the largest representable
+			// deadline is morally "unbounded" anyway.
+			d = time.Duration(1 << 62)
+		} else {
+			d = time.Duration(ms) * time.Millisecond
+		}
+		if s.maxTimeout > 0 && d > s.maxTimeout {
+			d = s.maxTimeout
+		}
 	}
 	if d <= 0 {
 		return r.Context(), func() {}, nil
@@ -602,6 +653,7 @@ type StatsResponse struct {
 	CacheVersions map[uint64]int        `json:"cache_versions"`
 	Workload      WorkloadStats         `json:"workload"`
 	Delta         DeltaStats            `json:"delta"`
+	Admission     AdmissionStats        `json:"admission"`
 	Durability    store.DurabilityStats `json:"durability"`
 	ExpandMemo    ExpandMemoStats       `json:"expand_memo"`
 	// Replication reports follower lag and sync counters; nil on a
@@ -648,6 +700,7 @@ func (s *Server) Stats() StatsResponse {
 			ProductsMaterialized: s.nProducts.Load(),
 		},
 		Delta:         s.deltaStats(),
+		Admission:     s.adm.Stats(),
 		Durability:    dur,
 		ExpandMemo:    memo,
 		Replication:   repl,

@@ -278,6 +278,57 @@ func WithServerAccessLog(w io.Writer, jsonFormat bool) ServerOption {
 	return server.WithAccessLog(w, jsonFormat)
 }
 
+// WithServerAdmissionLimits enables concurrency-gated admission: at
+// most maxInFlight evaluation/mutation requests run concurrently, up to
+// queueDepth more wait in a bounded queue, and the rest are shed with
+// 503 + Retry-After before any snapshot is pinned or body decoded.
+// maxInFlight <= 0 disables the gate.
+func WithServerAdmissionLimits(maxInFlight, queueDepth int) ServerOption {
+	return server.WithAdmissionLimits(maxInFlight, queueDepth)
+}
+
+// WithServerAdmissionQueueWait bounds how long one queued request waits
+// for admission capacity before it is shed.
+func WithServerAdmissionQueueWait(d time.Duration) ServerOption {
+	return server.WithAdmissionQueueWait(d)
+}
+
+// WithServerAdmissionRate enables per-client token-bucket rate
+// limiting — rate sustained requests/second with burst capacity above
+// it, keyed by the X-Relsim-Api-Key header (falling back to the remote
+// address). Drained buckets answer 429 + Retry-After. rate <= 0
+// disables the default bucket.
+func WithServerAdmissionRate(rate float64, burst int) ServerOption {
+	return server.WithAdmissionRate(rate, burst)
+}
+
+// WithServerAdmissionTenantRate overrides the token bucket for one
+// client key (rate <= 0 makes that tenant unlimited). May be repeated.
+func WithServerAdmissionTenantRate(key string, rate float64, burst int) ServerOption {
+	return server.WithAdmissionTenantRate(key, rate, burst)
+}
+
+// WithServerAdmissionMaxCost sets the per-request cost ceiling in
+// estimated matrix products (the workload plan's schedule length):
+// requests whose pattern set would cost more answer 422 before any
+// materialization starts. n <= 0 disables the ceiling.
+func WithServerAdmissionMaxCost(n int) ServerOption {
+	return server.WithAdmissionMaxCost(n)
+}
+
+// WithServerMaxBodyBytes bounds request bodies; larger bodies answer
+// 413 at decode time. n <= 0 removes the bound.
+func WithServerMaxBodyBytes(n int64) ServerOption {
+	return server.WithMaxBodyBytes(n)
+}
+
+// WithServerMaxTimeout caps the per-request ?timeout_ms= override:
+// clients can shorten the server deadline but never extend it past the
+// operator's ceiling. d <= 0 removes the cap.
+func WithServerMaxTimeout(d time.Duration) ServerOption {
+	return server.WithMaxTimeout(d)
+}
+
 // CanonicalPattern returns the canonical form of p: associativity
 // flattened, reversal pushed onto labels, disjunction branches sorted
 // and deduplicated. Exactly-canonicalizable patterns (see
