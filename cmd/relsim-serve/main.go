@@ -85,6 +85,7 @@ func run(args []string) error {
 	workloadPlan := fs.Bool("workload-plan", true, "workload-aware /batch planning: canonicalize patterns, share sub-pattern matrices across the whole batch, materialize each distinct subexpression once")
 	deltaMaint := fs.Bool("delta-maintenance", true, "incremental cache maintenance: patch stale cached commuting matrices to the new version with sparse delta products on each commit, instead of evicting them")
 	deltaDensity := fs.Float64("delta-max-density", eval.DefaultMaxDeltaDensity, "delta density (nonzeros as a fraction of n²) above which maintenance of a pattern falls back to evict-and-recompute")
+	annotate := fs.Bool("annotate", true, "semiring-annotated evaluation: the annotate=witness parameter on /search, /batch and /explain; off rejects annotated requests")
 	dataDir := fs.String("data-dir", "", "durable data directory (write-ahead log + checkpoints); empty serves in-memory only")
 	fsync := fs.String("fsync", "always", "WAL fsync policy: always (no committed batch is ever lost), interval, never")
 	fsyncInterval := fs.Duration("fsync-interval", wal.DefaultSyncInterval, "fsync cadence for -fsync interval")
@@ -119,7 +120,7 @@ func run(args []string) error {
 			addr: *addr, leader: *follow, schemaName: *schemaName,
 			workers: *workers, cacheLimit: *cacheLimit, timeout: *timeout, drain: *drain,
 			gate: sparse.Thresholds{MinDim: *minDim, MinNNZ: *minNNZ}, plan: *workloadPlan,
-			deltaMaint: *deltaMaint, deltaDensity: *deltaDensity,
+			deltaMaint: *deltaMaint, deltaDensity: *deltaDensity, annotate: *annotate,
 			dataDir: *dataDir, fsync: *fsync, fsyncInterval: *fsyncInterval,
 			checkpointEvery: *checkpointEvery, segmentBytes: *segmentBytes, logRetention: *logRetention,
 			pollInterval: *pollInterval, maxLag: *maxLag, maxLagAge: *maxLagAge,
@@ -169,6 +170,7 @@ func run(args []string) error {
 		server.WithWorkloadPlanning(*workloadPlan),
 		server.WithDeltaMaintenance(*deltaMaint),
 		server.WithDeltaMaxDensity(*deltaDensity),
+		server.WithAnnotation(*annotate),
 		server.WithSlowQuery(*slowQuery),
 		server.WithPprof(*pprofOn),
 		server.WithAccessLog(os.Stderr, accessJSON),
@@ -238,6 +240,7 @@ type followerConfig struct {
 	plan                     bool
 	deltaMaint               bool
 	deltaDensity             float64
+	annotate                 bool
 	dataDir, fsync           string
 	fsyncInterval            time.Duration
 	checkpointEvery          uint64
@@ -374,6 +377,7 @@ func runFollower(cfg followerConfig) error {
 		server.WithWorkloadPlanning(cfg.plan),
 		server.WithDeltaMaintenance(cfg.deltaMaint),
 		server.WithDeltaMaxDensity(cfg.deltaDensity),
+		server.WithAnnotation(cfg.annotate),
 		server.WithFollower(f, cfg.maxLag, cfg.maxLagAge),
 		server.WithSlowQuery(cfg.slowQuery),
 		server.WithPprof(cfg.pprof),

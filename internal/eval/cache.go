@@ -7,22 +7,64 @@ import (
 )
 
 // Key identifies one cached commuting matrix: the graph version it was
-// computed against and the canonical pattern string. Versioning is what
-// makes the cache MVCC-safe: evaluators bound to different snapshots
-// never alias each other's entries, so no invalidation is required for
-// correctness — an entry for (v, p) is valid forever, because version v
-// is immutable. Entries of dead versions age out via the LRU bound and
+// computed against, the semiring it was evaluated over, and the
+// canonical pattern string. Versioning is what makes the cache
+// MVCC-safe: evaluators bound to different snapshots never alias each
+// other's entries, so no invalidation is required for correctness — an
+// entry for (v, ring, p) is valid forever, because version v is
+// immutable. Entries of dead versions age out via the LRU bound and
 // the proactive hints below.
+//
+// Ring is the semiring tag: "" is the canonical integer ring (the
+// production ranking path), any other value names an annotation ring
+// ("witness", "count"). Tagged entries live in the same buckets and
+// label index as integer ones — so Advance carries/evicts them by the
+// same touched-label rules — but only integer entries are eligible for
+// incremental delta maintenance (see Cache.Maintain).
 type Key struct {
 	Version uint64
+	Ring    string
 	Pattern string
+}
+
+// ringSep joins the ring tag and pattern into one bucket key. NUL can
+// never appear in a rendered pattern, so tagged keys cannot collide
+// with pattern strings.
+const ringSep = "\x00"
+
+// entryKey renders the in-bucket key: bare pattern for the integer
+// ring, tag-prefixed otherwise.
+func (k Key) entryKey() string {
+	if k.Ring == "" {
+		return k.Pattern
+	}
+	return k.Ring + ringSep + k.Pattern
+}
+
+// ringOfEntryKey recovers the ring tag from a bucket key ("" for the
+// integer ring).
+func ringOfEntryKey(key string) string {
+	for i := 0; i < len(key); i++ {
+		if key[i] == ringSep[0] {
+			return key[:i]
+		}
+	}
+	return ""
+}
+
+// CachedMatrix is the value type the cache stores: a CSR matrix over
+// any semiring. *sparse.Matrix is the integer instance; annotated
+// instances are *sparse.GMatrix[T].
+type CachedMatrix interface {
+	Dim() int
+	NNZ() int
 }
 
 // cacheEntry is one materialized commuting matrix together with the
 // label set of its pattern (for the label-hint eviction and the
 // inverted index) and its last-use tick (for LRU eviction).
 type cacheEntry struct {
-	m      *sparse.Matrix
+	m      CachedMatrix
 	labels []string
 	used   uint64
 }
@@ -194,13 +236,14 @@ func (c *Cache) removeLocked(v uint64, pattern string) bool {
 	return true
 }
 
-// lookup returns the cached matrix for key, recording a hit or miss,
-// plus the generation observed (for insert's stale-compute check).
-func (c *Cache) lookup(key Key) (*sparse.Matrix, uint64, bool) {
+// lookupEntry returns the cached matrix for key (any ring), recording a
+// hit or miss, plus the generation observed (for insert's stale-compute
+// check).
+func (c *Cache) lookupEntry(key Key) (CachedMatrix, uint64, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if b, ok := c.versions[key.Version]; ok {
-		if ent, ok := b.entries[key.Pattern]; ok {
+		if ent, ok := b.entries[key.entryKey()]; ok {
 			c.hits++
 			c.tick++
 			ent.used = c.tick
@@ -211,11 +254,26 @@ func (c *Cache) lookup(key Key) (*sparse.Matrix, uint64, bool) {
 	return nil, c.gen, false
 }
 
+// lookup is lookupEntry for the integer ring.
+func (c *Cache) lookup(key Key) (*sparse.Matrix, uint64, bool) {
+	ent, gen, ok := c.lookupEntry(key)
+	if !ok {
+		return nil, gen, false
+	}
+	m, isInt := ent.(*sparse.Matrix)
+	if !isInt {
+		// A tagged key can only hold its ring's matrix type; reaching
+		// here means the caller built a mismatched Key.
+		return nil, gen, false
+	}
+	return m, gen, true
+}
+
 // insert stores a computed matrix unless an invalidation ran since gen
 // was observed: the computation may then reflect a graph state that is
 // already stale (only possible when the owner mutates a graph in place,
 // as Engine does; immutable snapshots are never stale for their key).
-func (c *Cache) insert(key Key, m *sparse.Matrix, labels []string, gen uint64) {
+func (c *Cache) insert(key Key, m CachedMatrix, labels []string, gen uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.gen != gen {
@@ -226,14 +284,15 @@ func (c *Cache) insert(key Key, m *sparse.Matrix, labels []string, gen uint64) {
 }
 
 // insertLocked stores an entry unconditionally. c.mu held.
-func (c *Cache) insertLocked(key Key, m *sparse.Matrix, labels []string) {
+func (c *Cache) insertLocked(key Key, m CachedMatrix, labels []string) {
 	b := c.bucket(key.Version)
-	if _, exists := b.entries[key.Pattern]; exists {
-		b.remove(key.Pattern)
+	ek := key.entryKey()
+	if _, exists := b.entries[ek]; exists {
+		b.remove(ek)
 		c.size--
 	}
 	c.tick++
-	b.put(key.Pattern, &cacheEntry{m: m, labels: labels, used: c.tick})
+	b.put(ek, &cacheEntry{m: m, labels: labels, used: c.tick})
 	c.size++
 }
 

@@ -68,11 +68,11 @@ func TestCommitPathWorkProportionalToTouched(t *testing.T) {
 func TestLabelIndexConsistentAfterChurn(t *testing.T) {
 	c := NewCache()
 	m := sparse.Identity(2)
-	c.insert(Key{0, "a"}, m, []string{"a"}, 0)
-	c.insert(Key{0, "a.b"}, m, []string{"a", "b"}, 0)
-	c.insert(Key{0, "c"}, m, []string{"c"}, 0)
+	c.insert(Key{Version: 0, Pattern: "a"}, m, []string{"a"}, 0)
+	c.insert(Key{Version: 0, Pattern: "a.b"}, m, []string{"a", "b"}, 0)
+	c.insert(Key{Version: 0, Pattern: "c"}, m, []string{"c"}, 0)
 	// Re-insert same pattern (replace path).
-	c.insert(Key{0, "a.b"}, m, []string{"a", "b"}, 0)
+	c.insert(Key{Version: 0, Pattern: "a.b"}, m, []string{"a", "b"}, 0)
 	if c.Size() != 3 {
 		t.Fatalf("Size = %d, want 3 after replace", c.Size())
 	}

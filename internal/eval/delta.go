@@ -161,6 +161,15 @@ func (c *Cache) Maintain(view graph.View, d CommitDelta, opt MaintainOptions) Ma
 		patterns: make(map[string]*rre.Pattern),
 	}
 	for _, key := range roots {
+		if ringOfEntryKey(key) != "" {
+			// Annotation rings (witness, count) are not Subtractive:
+			// signed deltas and the telescoping patch have no meaning
+			// there, so a wrong patch is never attempted. The entry
+			// falls back to Advance's touched-label eviction and the
+			// next annotated request recomputes it fresh.
+			res.Fallbacks++
+			continue
+		}
 		p, err := rre.Parse(key)
 		if err != nil || p.String() != key {
 			// A cache key that does not round-trip cannot be walked;
@@ -228,7 +237,14 @@ func (mt *maintainer) cachedOld(key string) (*sparse.Matrix, bool) {
 	if !ok {
 		return nil, false
 	}
-	return ent.m.Grow(mt.d.NewN), true
+	m, isInt := ent.m.(*sparse.Matrix)
+	if !isInt {
+		// Unreachable for round-tripped pattern keys (tagged keys are
+		// filtered before the walk), but never patch a non-integer
+		// matrix.
+		return nil, false
+	}
+	return m.Grow(mt.d.NewN), true
 }
 
 // normalize enforces the maintTerm invariant: an empty delta becomes

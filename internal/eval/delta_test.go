@@ -61,7 +61,9 @@ func entriesAt(c *Cache, v uint64) map[string]*sparse.Matrix {
 	out := make(map[string]*sparse.Matrix)
 	if b, ok := c.versions[v]; ok {
 		for p, ent := range b.entries {
-			out[p] = ent.m
+			if m, isInt := ent.m.(*sparse.Matrix); isInt {
+				out[p] = m
+			}
 		}
 	}
 	return out

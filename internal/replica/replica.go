@@ -22,6 +22,7 @@ package replica
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -84,7 +85,12 @@ type Status struct {
 	PagesApplied   uint64  `json:"pages_applied"`
 	UpdatesApplied uint64  `json:"updates_applied"`
 	Errors         uint64  `json:"errors"`
-	LastError      string  `json:"last_error,omitempty"`
+	// ThrottledPolls counts polls the leader shed with 429/503 and an
+	// explicit Retry-After hint the follower honored (a subset of
+	// Errors). A climbing counter here means the leader is under
+	// admission pressure, not that replication is broken.
+	ThrottledPolls uint64 `json:"throttled_polls"`
+	LastError      string `json:"last_error,omitempty"`
 }
 
 // Follower tails a leader into a local store. Construct with New, kick
@@ -106,7 +112,39 @@ type Follower struct {
 	pages         uint64
 	updates       uint64
 	errs          uint64
+	throttled     uint64
 	lastError     string
+}
+
+// throttledError reports a leader that shed a feed or checkpoint
+// request under admission control (429 rate limit or 503 shed) with an
+// explicit Retry-After hint. The retry loops honor the hint instead of
+// their own exponential guess: the leader knows when capacity frees
+// up, and a fleet of followers hammering a shedding leader at backoff
+// cadence is exactly the load it is trying to shed.
+type throttledError struct {
+	status  int
+	after   time.Duration
+	surface string // "feed" or "checkpoint"
+}
+
+func (e *throttledError) Error() string {
+	return fmt.Sprintf("replica: leader %s: status %d (throttled, retry after %v)", e.surface, e.status, e.after)
+}
+
+// throttleHint extracts the leader's Retry-After hint from a shed
+// response: 429 and 503 only, integer seconds only (the relsim-serve
+// admission layer emits whole seconds; the HTTP-date form is not
+// worth parsing for a peer we control).
+func throttleHint(resp *http.Response, surface string) *throttledError {
+	if resp.StatusCode != http.StatusTooManyRequests && resp.StatusCode != http.StatusServiceUnavailable {
+		return nil
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(resp.Header.Get("Retry-After")))
+	if err != nil || secs < 0 {
+		return nil
+	}
+	return &throttledError{status: resp.StatusCode, after: time.Duration(secs) * time.Second, surface: surface}
 }
 
 // New builds a follower of the leader at base URL leaderURL (scheme +
@@ -172,6 +210,9 @@ func (f *Follower) Instrument(reg *telemetry.Registry) {
 	reg.CounterFunc("relsim_replica_errors_total",
 		"Replication errors (leader unreachable, malformed pages).",
 		func() float64 { return float64(f.Status().Errors) })
+	reg.CounterFunc("relsim_replica_throttled_polls_total",
+		"Polls the leader shed with 429/503 whose Retry-After hint the follower honored.",
+		func() float64 { return float64(f.Status().ThrottledPolls) })
 }
 
 // Store returns the store the follower applies into.
@@ -193,6 +234,7 @@ func (f *Follower) Status() Status {
 		PagesApplied:   f.pages,
 		UpdatesApplied: f.updates,
 		Errors:         f.errs,
+		ThrottledPolls: f.throttled,
 		LastError:      f.lastError,
 	}
 	if f.leaderVersion > local {
@@ -208,6 +250,25 @@ func (f *Follower) logf(format string, args ...any) {
 	if f.opt.Logf != nil {
 		f.opt.Logf("replica: "+format, args...)
 	}
+}
+
+// retryWait picks the delay before the next attempt after err: the
+// leader's Retry-After hint when err carries one (counted as a
+// throttled poll), otherwise the caller's exponential backoff. A
+// throttle hint of zero seconds falls back to the backoff — "now" is
+// not a cadence.
+func (f *Follower) retryWait(err error, backoff time.Duration) time.Duration {
+	var th *throttledError
+	if !errors.As(err, &th) {
+		return backoff
+	}
+	f.mu.Lock()
+	f.throttled++
+	f.mu.Unlock()
+	if th.after > 0 {
+		return th.after
+	}
+	return backoff
 }
 
 func (f *Follower) noteError(err error) {
@@ -262,8 +323,9 @@ func (f *Follower) Start(ctx context.Context) error {
 			return fmt.Errorf("replica: initial sync: %w", err)
 		}
 		f.noteError(err)
-		f.logf("initial sync: %v (retrying in %v)", err, backoff)
-		if !sleep(ctx, backoff) {
+		wait := f.retryWait(err, backoff)
+		f.logf("initial sync: %v (retrying in %v)", err, wait)
+		if !sleep(ctx, wait) {
 			return fmt.Errorf("replica: initial sync: %w", err)
 		}
 		if backoff *= 2; backoff > f.opt.MaxBackoff {
@@ -286,8 +348,9 @@ func (f *Follower) Run(ctx context.Context) {
 				return
 			}
 			f.noteError(err)
-			f.logf("sync: %v (backing off %v)", err, backoff)
-			if !sleep(ctx, backoff) {
+			wait := f.retryWait(err, backoff)
+			f.logf("sync: %v (backing off %v)", err, wait)
+			if !sleep(ctx, wait) {
 				return
 			}
 			if backoff *= 2; backoff > f.opt.MaxBackoff {
@@ -373,6 +436,9 @@ func (f *Follower) fetchPage(ctx context.Context, since uint64) (store.Feed, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		if th := throttleHint(resp, "feed"); th != nil {
+			return feed, th
+		}
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		// A 400 here usually means the leader thinks our version is in
 		// its future — a diverging leader (wiped data directory, lost
@@ -415,6 +481,9 @@ func (f *Follower) Bootstrap(ctx context.Context) error {
 	case http.StatusNoContent:
 		return nil // already at or past the leader's newest checkpoint
 	default:
+		if th := throttleHint(resp, "checkpoint"); th != nil {
+			return th
+		}
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return fmt.Errorf("replica: leader checkpoint: status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
 	}

@@ -1,0 +1,128 @@
+package replica_test
+
+// Retry-After honoring against a fake shedding leader: a wrapper in
+// front of a real leader sheds the first /checkpoint request with 429
+// and the first /log request with 503, both carrying Retry-After: 1.
+// The follower is configured with a backoff cap of 20ms, so the only
+// way its initial sync can take ~2 seconds is by trusting the leader's
+// hints over its own exponential schedule.
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"relsim/internal/replica"
+	"relsim/internal/server"
+	"relsim/internal/store"
+)
+
+// sheddingLeader wraps a real leader handler and sheds the first hit
+// on each replication surface. checkpointSheds/feedSheds count down;
+// header controls whether the shed carries a Retry-After hint.
+type sheddingLeader struct {
+	inner           http.Handler
+	checkpointSheds atomic.Int32
+	feedSheds       atomic.Int32
+	retryAfter      string
+}
+
+func (l *sheddingLeader) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	var sheds *atomic.Int32
+	status := 0
+	switch r.URL.Path {
+	case "/checkpoint":
+		sheds, status = &l.checkpointSheds, http.StatusTooManyRequests
+	case "/log":
+		sheds, status = &l.feedSheds, http.StatusServiceUnavailable
+	}
+	if sheds != nil && sheds.Add(-1) >= 0 {
+		if l.retryAfter != "" {
+			w.Header().Set("Retry-After", l.retryAfter)
+		}
+		w.WriteHeader(status)
+		return
+	}
+	l.inner.ServeHTTP(w, r)
+}
+
+func newSheddingLeader(t *testing.T, checkpointSheds, feedSheds int32, retryAfter string) (*sheddingLeader, string) {
+	t.Helper()
+	l := &sheddingLeader{inner: server.New(store.New(leaderGraph()), nil), retryAfter: retryAfter}
+	l.checkpointSheds.Store(checkpointSheds)
+	l.feedSheds.Store(feedSheds)
+	ts := httptest.NewServer(l)
+	t.Cleanup(ts.Close)
+	return l, ts.URL
+}
+
+func TestFollowerHonorsRetryAfter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("waits out two 1-second Retry-After hints")
+	}
+	_, url := newSheddingLeader(t, 1, 1, "1")
+
+	f := replica.New(store.New(nil), url, replica.Options{
+		PollInterval: 5 * time.Millisecond,
+		MaxBackoff:   20 * time.Millisecond,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	start := time.Now()
+	if err := f.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	// Two sheds, each hinting 1 second. Exponential backoff alone (cap
+	// 20ms) would retry both inside ~100ms; honoring the hints cannot
+	// finish under ~2 seconds minus timer slack.
+	if elapsed < 1800*time.Millisecond {
+		t.Errorf("initial sync took %v; Retry-After hints (2 × 1s) were not honored", elapsed)
+	}
+
+	st := f.Status()
+	if st.ThrottledPolls != 2 {
+		t.Errorf("ThrottledPolls = %d, want 2 (one checkpoint 429, one feed 503)", st.ThrottledPolls)
+	}
+	if st.Errors < st.ThrottledPolls {
+		t.Errorf("Errors = %d < ThrottledPolls = %d; throttles must count as errors too", st.Errors, st.ThrottledPolls)
+	}
+	if !st.SyncedOnce || !st.CaughtUp {
+		t.Errorf("post-start status = %+v, want synced and caught up", st)
+	}
+}
+
+// TestFollowerShedWithoutHint checks the fallback: a shed response with
+// no Retry-After stays on the follower's own exponential backoff and is
+// not counted as a throttled poll.
+func TestFollowerShedWithoutHint(t *testing.T) {
+	_, url := newSheddingLeader(t, 1, 1, "")
+
+	f := replica.New(store.New(nil), url, replica.Options{
+		PollInterval: 5 * time.Millisecond,
+		MaxBackoff:   20 * time.Millisecond,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	start := time.Now()
+	if err := f.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("initial sync took %v despite a 20ms backoff cap", elapsed)
+	}
+
+	st := f.Status()
+	if st.ThrottledPolls != 0 {
+		t.Errorf("ThrottledPolls = %d, want 0 (sheds carried no Retry-After)", st.ThrottledPolls)
+	}
+	if st.Errors < 2 {
+		t.Errorf("Errors = %d, want >= 2 (both sheds still count as errors)", st.Errors)
+	}
+}

@@ -33,13 +33,21 @@ type SearchRequest struct {
 	Top      int    `json:"top,omitempty"`
 	NoExpand bool   `json:"no_expand,omitempty"`
 	Alg      string `json:"alg,omitempty"`
+	// Annotate selects semiring annotation: "witness" attaches instance
+	// counts and a bounded derivation prefix to every result (the
+	// ?annotate= query parameter overrides it). Annotation requires a
+	// pattern-bearing algorithm and explains the pattern as written, not
+	// its Algorithm-1 expansion.
+	Annotate string `json:"annotate,omitempty"`
 }
 
-// ScoredNode is one ranked answer.
+// ScoredNode is one ranked answer. Witness carries the semiring
+// annotation when the request asked for one.
 type ScoredNode struct {
-	ID    graph.NodeID `json:"id"`
-	Name  string       `json:"name,omitempty"`
-	Score float64      `json:"score"`
+	ID      graph.NodeID `json:"id"`
+	Name    string       `json:"name,omitempty"`
+	Score   float64      `json:"score"`
+	Witness *WitnessInfo `json:"witness,omitempty"`
 }
 
 // SearchResponse is the POST /search body and one /batch result.
@@ -48,6 +56,7 @@ type SearchResponse struct {
 	QueryID  graph.NodeID `json:"query_id"`
 	Pattern  string       `json:"pattern,omitempty"`
 	Alg      string       `json:"alg"`
+	Annotate string       `json:"annotate,omitempty"`
 	Expanded int          `json:"expanded,omitempty"`
 	Version  uint64       `json:"version"`
 	Results  []ScoredNode `json:"results"`
@@ -160,11 +169,28 @@ func (s *Server) runSearch(ev *eval.Evaluator, req *SearchRequest, tr *Trace) (*
 	for i, id := range rank.IDs {
 		results[i] = ScoredNode{ID: id, Name: g.Node(id).Name, Score: rank.Scores[i]}
 	}
+	if req.Annotate != "" {
+		// /batch workers reach here with whatever the query carried, so
+		// the full validation runs per query, not just in handleSearch.
+		if req.Annotate != AnnotateWitness {
+			return nil, fmt.Errorf("invalid annotate %q (want %q)", req.Annotate, AnnotateWitness)
+		}
+		if !s.annotate {
+			return nil, fmt.Errorf("semiring annotation is disabled on this server")
+		}
+		if alg == "rwr" || alg == "simrank" {
+			return nil, fmt.Errorf("annotate is not supported for alg %q (no pattern to annotate)", alg)
+		}
+		if err := s.annotateResults(ev, req, q, results); err != nil {
+			return nil, err
+		}
+	}
 	return &SearchResponse{
 		Query:    req.Query,
 		QueryID:  q,
 		Pattern:  req.Pattern,
 		Alg:      alg,
+		Annotate: req.Annotate,
 		Expanded: expanded,
 		Version:  ev.Version(),
 		Results:  results,
@@ -204,6 +230,15 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeJSON(w, r, &req) {
 		return
 	}
+	an, err := mergeAnnotate(r, req.Annotate)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	req.Annotate = an
+	if !s.checkAnnotate(w, req.Annotate) {
+		return
+	}
 	ctx, cancel, err := s.requestContext(r)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
@@ -213,10 +248,16 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	// Cost ceiling before the pin: the pattern expansion needs only the
 	// schema (and hits the expand memo, so the handler's own expansion
 	// below is a cache hit), never a snapshot. Expansion errors fall
-	// through — the handler reports them with its usual 400.
+	// through — the handler reports them with its usual 400. Annotated
+	// requests are priced with the annotation surcharge: they evaluate
+	// the integer ranking matrices plus the witness twin.
 	if s.adm.MaxCost() > 0 {
 		if ps, _, err := s.queryPatterns(&req); err == nil && len(ps) > 0 {
-			if !s.checkCost(w, eval.EstimateProducts(ps)) {
+			cost := eval.EstimateProducts(ps)
+			if req.Annotate != "" {
+				cost = eval.EstimateProductsAnnotated(ps)
+			}
+			if !s.checkCost(w, cost) {
 				return
 			}
 		}
@@ -303,6 +344,23 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeJSON(w, r, &req) {
 		return
 	}
+	// A batch-level ?annotate= is the default for queries that do not
+	// choose their own; per-query body fields win.
+	an, err := mergeAnnotate(r, "")
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !s.checkAnnotate(w, an) {
+		return
+	}
+	if an != "" {
+		for i := range req.Queries {
+			if req.Queries[i].Annotate == "" {
+				req.Queries[i].Annotate = an
+			}
+		}
+	}
 	ctx, cancel, err := s.requestContext(r)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
@@ -330,16 +388,25 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	endExpand := tr.Phase("expand")
 	pats := s.batchPatterns(req.Queries)
 	endExpand()
+	// Annotated queries carry the annotation surcharge on top of the
+	// planned (or estimated) integer cost — per query, so a mixed batch
+	// prices only its annotated members at the higher weight.
+	surcharge := 0
+	if s.adm.MaxCost() > 0 {
+		for i := range req.Queries {
+			surcharge += s.annotationSurcharge(&req.Queries[i])
+		}
+	}
 	var plan *eval.WorkloadPlan
 	if s.plan {
 		endPlan := tr.Phase("plan")
 		plan = eval.PlanWorkload(pats)
 		endPlan()
-		if !s.checkCost(w, plan.EstimatedProducts()) {
+		if !s.checkCost(w, plan.EstimatedProducts()+surcharge) {
 			return
 		}
 	} else if s.adm.MaxCost() > 0 {
-		if !s.checkCost(w, eval.EstimateProducts(pats)) {
+		if !s.checkCost(w, eval.EstimateProducts(pats)+surcharge) {
 			return
 		}
 	}
@@ -524,17 +591,24 @@ func (s *Server) batchPatterns(queries []SearchRequest) []*rre.Pattern {
 	return out
 }
 
-// ExplainRequest is the POST /explain body: enumerate instances of
-// Pattern from node From to node To (names or ids), up to Limit.
+// ExplainRequest is the POST /explain body: explain why From and To
+// are similar under Pattern (nodes are names or ids). The legacy mode
+// enumerates up to Limit concrete instances; with Annotate "witness"
+// (or ?annotate=witness) the answer is instead a projection of the
+// witness-annotated commuting matrix — count, score, and one bounded
+// derivation prefix, read from the versioned cache when an annotated
+// request already materialized it (zero additional matrix products).
 type ExplainRequest struct {
-	Pattern string `json:"pattern"`
-	From    string `json:"from"`
-	To      string `json:"to"`
-	Limit   int    `json:"limit,omitempty"`
+	Pattern  string `json:"pattern"`
+	From     string `json:"from"`
+	To       string `json:"to"`
+	Limit    int    `json:"limit,omitempty"`
+	Annotate string `json:"annotate,omitempty"`
 }
 
 // ExplainResponse is the POST /explain body: the instance count |I^{u,v}(p)|,
-// the Equation-1 score, and the rendered traversal sequences.
+// the Equation-1 score, and either the rendered traversal sequences
+// (legacy) or the witness projection (annotate=witness).
 type ExplainResponse struct {
 	Pattern   string       `json:"pattern"`
 	FromID    graph.NodeID `json:"from_id"`
@@ -542,7 +616,9 @@ type ExplainResponse struct {
 	Count     int64        `json:"count"`
 	Score     float64      `json:"score"`
 	Version   uint64       `json:"version"`
-	Instances []string     `json:"instances"`
+	Annotate  string       `json:"annotate,omitempty"`
+	Witness   *WitnessInfo `json:"witness,omitempty"`
+	Instances []string     `json:"instances,omitempty"`
 }
 
 const defaultExplainLimit = 10
@@ -552,6 +628,15 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeJSON(w, r, &req) {
 		return
 	}
+	an, err := mergeAnnotate(r, req.Annotate)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	req.Annotate = an
+	if !s.checkAnnotate(w, req.Annotate) {
+		return
+	}
 	p, err := rre.Parse(req.Pattern)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
@@ -559,8 +644,17 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	// Explanations evaluate the pattern's commuting matrix, so the cost
 	// ceiling applies exactly as it does on /search — before the pin.
-	if s.adm.MaxCost() > 0 && !s.checkCost(w, eval.EstimateProducts([]*rre.Pattern{p})) {
-		return
+	// An annotated explanation is priced with the annotation surcharge;
+	// a warm projection costs far less, but admission prices the cold
+	// worst case, never the hoped-for cache state.
+	if s.adm.MaxCost() > 0 {
+		cost := eval.EstimateProducts([]*rre.Pattern{p})
+		if req.Annotate != "" {
+			cost = eval.EstimateProductsAnnotated([]*rre.Pattern{p})
+		}
+		if !s.checkCost(w, cost) {
+			return
+		}
 	}
 	limit := req.Limit
 	if limit <= 0 {
@@ -596,24 +690,59 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	tr.SetVersion(pin.Version())
 	endEval := tr.Phase("evaluate")
 	var resp ExplainResponse
-	err = eval.Guard(func() error {
-		m := ev.Commuting(p)
-		ins := ev.Instances(p, u, v, limit)
-		rendered := make([]string, len(ins))
-		for i, in := range ins {
-			rendered[i] = in.Render(snap)
+	if req.Annotate == AnnotateWitness {
+		// Projection mode: everything the answer needs — count, score,
+		// derivation prefix — lives in the witness matrix, computed
+		// during SpGEMM when it was (or is now) materialized. No integer
+		// matrix, no instance enumeration; when a previous annotated
+		// request cached the matrix at this version, the whole response
+		// is a read (the evaluator is request-fresh, so a zero product
+		// counter after the call is the warm-projection proof).
+		err = eval.Guard(func() error {
+			wm := ev.CommutingWitness(p)
+			resp = ExplainResponse{
+				Pattern:  req.Pattern,
+				FromID:   u,
+				ToID:     v,
+				Score:    eval.WitnessPathSimScore(wm, u, v),
+				Version:  pin.Version(),
+				Annotate: AnnotateWitness,
+			}
+			if wit, ok := eval.WitnessLookup(wm, u, v); ok {
+				resp.Count = wit.Count
+				resp.Witness = witnessInfo(snap, wit)
+			}
+			return nil
+		})
+		if err == nil {
+			s.nExplainProjected.Add(1)
+			if ev.Counters().Products.Load() == 0 {
+				s.nExplainWarm.Add(1)
+			}
 		}
-		resp = ExplainResponse{
-			Pattern:   req.Pattern,
-			FromID:    u,
-			ToID:      v,
-			Count:     m.At(int(u), int(v)),
-			Score:     eval.PathSimScore(m, u, v),
-			Version:   pin.Version(),
-			Instances: rendered,
+	} else {
+		err = eval.Guard(func() error {
+			m := ev.Commuting(p)
+			ins := ev.Instances(p, u, v, limit)
+			rendered := make([]string, len(ins))
+			for i, in := range ins {
+				rendered[i] = in.Render(snap)
+			}
+			resp = ExplainResponse{
+				Pattern:   req.Pattern,
+				FromID:    u,
+				ToID:      v,
+				Count:     m.At(int(u), int(v)),
+				Score:     eval.PathSimScore(m, u, v),
+				Version:   pin.Version(),
+				Instances: rendered,
+			}
+			return nil
+		})
+		if err == nil {
+			s.nExplainLegacy.Add(1)
 		}
-		return nil
-	})
+	}
 	endEval()
 	tr.SetEval(ev.Counters())
 	if err != nil {

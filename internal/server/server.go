@@ -108,10 +108,10 @@ type Server struct {
 	maxBody    int64
 	maxTimeout time.Duration
 	admWait    *telemetry.Metric
-	plan    bool // workload-aware /batch planning + canonical cache keys
-	logFeed bool // expose GET /log and /checkpoint (the replication surface)
-	mux     *http.ServeMux
-	start   time.Time
+	plan       bool // workload-aware /batch planning + canonical cache keys
+	logFeed    bool // expose GET /log and /checkpoint (the replication surface)
+	mux        *http.ServeMux
+	start      time.Time
 
 	// replica, when set, puts the server in follower mode: the read API
 	// serves as usual from the local store, mutations answer 403
@@ -159,6 +159,16 @@ type Server struct {
 	// performed by every evaluator bound to this server (the mul-hook
 	// count).
 	nPlanned, nDeduped, nProductsSaved, nUnplannable, nProducts atomic.Uint64
+
+	// Semiring-annotated serving (see annotate.go): annotate toggles the
+	// annotate=witness request parameter; the counters split annotated
+	// request traffic, annotated-kernel products (the mul hook passes nil
+	// operands for non-integer products, which is how they are told
+	// apart), and /explain's projection-vs-legacy answers.
+	annotate                        bool
+	nAnnotated, nAnnotatedProducts  atomic.Uint64
+	nExplainProjected, nExplainWarm atomic.Uint64
+	nExplainLegacy                  atomic.Uint64
 
 	// Incremental cache maintenance (delta SpGEMM): when deltaMaintain
 	// is on, the commit hook patches stale cached matrices to the new
@@ -380,6 +390,7 @@ func New(st *store.Store, sc *schema.Schema, opts ...Option) *Server {
 		instrument:  true,
 		maxBody:     DefaultMaxBodyBytes,
 		maxTimeout:  DefaultMaxTimeout,
+		annotate:    true,
 
 		deltaMaintain:   true,
 		deltaMaxDensity: eval.DefaultMaxDeltaDensity,
@@ -403,6 +414,7 @@ func New(st *store.Store, sc *schema.Schema, opts ...Option) *Server {
 		s.reg = telemetry.NewRegistry()
 		s.obs = newServerObs(s.reg)
 		s.instrumentEngine(s.reg)
+		s.instrumentSemiring(s.reg)
 		s.instrumentAdmission(s.reg)
 		st.Instrument(s.reg)
 		// A replication tailer that can describe itself (the concrete
@@ -460,7 +472,14 @@ func (s *Server) evaluator(snap *graph.Snapshot, version uint64) *eval.Evaluator
 	ev := eval.NewVersioned(snap, version, s.cache)
 	ev.SetParallelThresholds(s.gate)
 	ev.SetCanonicalKeys(s.plan)
-	ev.SetMulHook(func(_, _ *sparse.Matrix) { s.nProducts.Add(1) })
+	// Annotated (non-integer) products fire the hook with nil operands —
+	// the discriminator the semiring counters rely on.
+	ev.SetMulHook(func(a, _ *sparse.Matrix) {
+		s.nProducts.Add(1)
+		if a == nil {
+			s.nAnnotatedProducts.Add(1)
+		}
+	})
 	return ev
 }
 
@@ -653,6 +672,7 @@ type StatsResponse struct {
 	CacheVersions map[uint64]int        `json:"cache_versions"`
 	Workload      WorkloadStats         `json:"workload"`
 	Delta         DeltaStats            `json:"delta"`
+	Semiring      SemiringStats         `json:"semiring"`
 	Admission     AdmissionStats        `json:"admission"`
 	Durability    store.DurabilityStats `json:"durability"`
 	ExpandMemo    ExpandMemoStats       `json:"expand_memo"`
@@ -700,6 +720,7 @@ func (s *Server) Stats() StatsResponse {
 			ProductsMaterialized: s.nProducts.Load(),
 		},
 		Delta:         s.deltaStats(),
+		Semiring:      s.semiringStats(),
 		Admission:     s.adm.Stats(),
 		Durability:    dur,
 		ExpandMemo:    memo,

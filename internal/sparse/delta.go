@@ -1,10 +1,5 @@
 package sparse
 
-import (
-	"fmt"
-	"sort"
-)
-
 // Signed-delta helpers. Incremental maintenance of commuting matrices
 // represents a commit as a signed sparse delta ΔA per touched label
 // (added edges +1, removed edges −1) and patches cached products via
@@ -13,40 +8,16 @@ import (
 // algebra relies on: rows in order, columns ascending within a row, and
 // no explicit zero entries — so a maintained matrix is Equal (and
 // byte-identical) to one recomputed from scratch.
+//
+// Signed deltas require an additive inverse, so these operations exist
+// only on the integer instance (IntRing is the sole Subtractive ring);
+// annotated caches are maintained by eviction instead.
 
 // Sub returns m − o element-wise. Entries that cancel exactly are
 // dropped, never stored as explicit zeros. It panics if dimensions
 // differ.
 func (m *Matrix) Sub(o *Matrix) *Matrix {
-	if m.n != o.n {
-		panic(fmt.Sprintf("sparse: Sub dimension mismatch %d vs %d", m.n, o.n))
-	}
-	s := &Matrix{n: m.n, rowPtr: make([]int32, m.n+1)}
-	for r := 0; r < m.n; r++ {
-		i, iEnd := m.rowPtr[r], m.rowPtr[r+1]
-		j, jEnd := o.rowPtr[r], o.rowPtr[r+1]
-		for i < iEnd || j < jEnd {
-			switch {
-			case j >= jEnd || (i < iEnd && m.colIdx[i] < o.colIdx[j]):
-				s.colIdx = append(s.colIdx, m.colIdx[i])
-				s.val = append(s.val, m.val[i])
-				i++
-			case i >= iEnd || o.colIdx[j] < m.colIdx[i]:
-				s.colIdx = append(s.colIdx, o.colIdx[j])
-				s.val = append(s.val, -o.val[j])
-				j++
-			default:
-				if v := m.val[i] - o.val[j]; v != 0 {
-					s.colIdx = append(s.colIdx, m.colIdx[i])
-					s.val = append(s.val, v)
-				}
-				i++
-				j++
-			}
-		}
-		s.rowPtr[r+1] = int32(len(s.colIdx))
-	}
-	return s
+	return wrapInt(GSub(IntRing{}, m.gm(), o.gm()))
 }
 
 // Grow returns m embedded in the top-left corner of an n×n matrix.
@@ -55,18 +26,7 @@ func (m *Matrix) Sub(o *Matrix) *Matrix {
 // arrays are shared with m (matrices are immutable). It panics if n is
 // smaller than m's dimension.
 func (m *Matrix) Grow(n int) *Matrix {
-	if n == m.n {
-		return m
-	}
-	if n < m.n {
-		panic(fmt.Sprintf("sparse: Grow from %d to smaller %d", m.n, n))
-	}
-	rp := make([]int32, n+1)
-	copy(rp, m.rowPtr)
-	for r := m.n; r < n; r++ {
-		rp[r+1] = rp[m.n]
-	}
-	return &Matrix{n: n, rowPtr: rp, colIdx: m.colIdx, val: m.val}
+	return wrapInt(m.gm().Grow(n))
 }
 
 // IdentityRange returns the n×n matrix with ones on the diagonal at
@@ -74,27 +34,10 @@ func (m *Matrix) Grow(n int) *Matrix {
 // of a boolean closure over isolated nodes) when the id space grows
 // from lo to hi. It panics on an invalid range.
 func IdentityRange(n, lo, hi int) *Matrix {
-	if lo < 0 || hi < lo || hi > n {
-		panic(fmt.Sprintf("sparse: IdentityRange [%d,%d) out of range for n=%d", lo, hi, n))
-	}
-	m := &Matrix{
-		n:      n,
-		rowPtr: make([]int32, n+1),
-		colIdx: make([]int32, hi-lo),
-		val:    make([]int64, hi-lo),
-	}
-	for r := lo; r < hi; r++ {
-		m.colIdx[r-lo] = int32(r)
-		m.val[r-lo] = 1
-		m.rowPtr[r+1] = int32(r - lo + 1)
-	}
-	for r := hi; r < n; r++ {
-		m.rowPtr[r+1] = m.rowPtr[hi]
-	}
-	return m
+	return wrapInt(GIdentityRange[int64](IntRing{}, n, lo, hi))
 }
 
-// fewRowsRatio gates the ultra-sparse kernel in MulThresh: when
+// fewRowsRatio gates the ultra-sparse kernel in GMulThresh: when
 // nnz(m)·fewRowsRatio ≤ n the left operand has nonzero entries in at
 // most n/fewRowsRatio rows, and the product is computed by visiting
 // only those rows with a hash accumulator instead of a full Gustavson
@@ -103,46 +46,8 @@ func IdentityRange(n, lo, hi int) *Matrix {
 // O(k·row-work) instead of O(n).
 const fewRowsRatio = 16
 
-// mulFewRows multiplies m·o visiting only m's nonzero rows. The output
-// is bit-identical to the serial Gustavson kernel: each row's columns
-// are sorted ascending and exact-zero accumulations are dropped.
+// mulFewRows exposes the integer few-rows kernel for the differential
+// tests that pin it against the serial kernel.
 func (m *Matrix) mulFewRows(o *Matrix) *Matrix {
-	p := &Matrix{n: m.n, rowPtr: make([]int32, m.n+1)}
-	acc := make(map[int32]int64, 64)
-	cols := make([]int32, 0, 64)
-	prev := 0
-	for r := 0; r < m.n; r++ {
-		if m.rowPtr[r] == m.rowPtr[r+1] {
-			continue
-		}
-		for fill := prev; fill < r; fill++ {
-			p.rowPtr[fill+1] = int32(len(p.colIdx))
-		}
-		cols = cols[:0]
-		for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
-			k := m.colIdx[i]
-			mv := m.val[i]
-			for j := o.rowPtr[k]; j < o.rowPtr[k+1]; j++ {
-				c := o.colIdx[j]
-				if _, ok := acc[c]; !ok {
-					cols = append(cols, c)
-				}
-				acc[c] += mv * o.val[j]
-			}
-		}
-		sort.Slice(cols, func(a, b int) bool { return cols[a] < cols[b] })
-		for _, c := range cols {
-			if v := acc[c]; v != 0 {
-				p.colIdx = append(p.colIdx, c)
-				p.val = append(p.val, v)
-			}
-			delete(acc, c)
-		}
-		p.rowPtr[r+1] = int32(len(p.colIdx))
-		prev = r + 1
-	}
-	for r := prev; r < m.n; r++ {
-		p.rowPtr[r+1] = int32(len(p.colIdx))
-	}
-	return p
+	return wrapInt(gMulFewRows(IntRing{}, m.gm(), o.gm()))
 }

@@ -3,14 +3,13 @@ package sparse
 import "fmt"
 
 // FloatMatrix is an immutable n×n sparse matrix with float64 entries in
-// CSR form. It backs the random-walk algorithms (RWR, SimRank) which need
-// row-normalized transition matrices.
-type FloatMatrix struct {
-	n      int
-	rowPtr []int32
-	colIdx []int32
-	val    []float64
-}
+// CSR form — a defined type over the generic CSR representation. It
+// backs the random-walk algorithms (RWR, SimRank) which need
+// row-normalized transition matrices; those are vector-space
+// operations, not semiring ones, so they are implemented directly.
+type FloatMatrix GMatrix[float64]
+
+func (f *FloatMatrix) gm() *GMatrix[float64] { return (*GMatrix[float64])(f) }
 
 // FromInt converts an integer matrix to a float matrix.
 func FromInt(m *Matrix) *FloatMatrix {
@@ -44,9 +43,7 @@ func (f *FloatMatrix) At(row, col int) float64 {
 
 // Row calls fn(col, val) for each stored entry of the row.
 func (f *FloatMatrix) Row(row int, fn func(col int, val float64)) {
-	for i := f.rowPtr[row]; i < f.rowPtr[row+1]; i++ {
-		fn(int(f.colIdx[i]), f.val[i])
-	}
+	f.gm().Row(row, fn)
 }
 
 // RowNormalize returns the row-stochastic version of f: every nonzero row
@@ -75,29 +72,7 @@ func (f *FloatMatrix) RowNormalize() *FloatMatrix {
 
 // Transpose returns fᵀ.
 func (f *FloatMatrix) Transpose() *FloatMatrix {
-	t := &FloatMatrix{
-		n:      f.n,
-		rowPtr: make([]int32, f.n+1),
-		colIdx: make([]int32, len(f.colIdx)),
-		val:    make([]float64, len(f.val)),
-	}
-	for _, c := range f.colIdx {
-		t.rowPtr[c+1]++
-	}
-	for r := 0; r < f.n; r++ {
-		t.rowPtr[r+1] += t.rowPtr[r]
-	}
-	next := make([]int32, f.n)
-	copy(next, t.rowPtr[:f.n])
-	for r := 0; r < f.n; r++ {
-		for i := f.rowPtr[r]; i < f.rowPtr[r+1]; i++ {
-			c := f.colIdx[i]
-			t.colIdx[next[c]] = int32(r)
-			t.val[next[c]] = f.val[i]
-			next[c]++
-		}
-	}
-	return t
+	return (*FloatMatrix)(f.gm().Transpose())
 }
 
 // MulVec returns the dense matrix-vector product f·x. It panics if

@@ -1,9 +1,9 @@
-// Package sparse implements the sparse integer matrix kernel used to
-// compute commuting matrices for RRE patterns (paper §4.3).
+// Package sparse implements the sparse matrix kernel used to compute
+// commuting matrices for RRE patterns (paper §4.3).
 //
 // Matrices are square over the node-id space of a graph and stored in
-// compressed sparse row (CSR) form with int64 entries. The algebra is
-// exactly the one the paper defines for commuting matrices:
+// compressed sparse row (CSR) form. The algebra is exactly the one the
+// paper defines for commuting matrices:
 //
 //	M_a        = A_a                    (adjacency of label a)
 //	M_{p-}     = M_pᵀ                   (Transpose)
@@ -11,6 +11,12 @@
 //	M_{p1+p2}  = M_{p1} + M_{p2}        (Add)
 //	M_{⌈⌈p⌋⌋}  = M_p > 0                (Boolean)
 //	M_{[p]}    = diag{ M_p (M_pᵀ > 0) } (DiagMulBool)
+//
+// The operators are implemented once, generically over a semiring
+// (kernel.go, semiring.go); Matrix is the canonical int64 instance and
+// every method below delegates to the generic kernel at IntRing, so
+// annotated evaluations (counting, witness provenance) run the exact
+// same code as the production integer path.
 //
 // All operations return new matrices; values are never mutated after
 // construction, so matrices are safe for concurrent use.
@@ -22,14 +28,16 @@ import (
 	"strings"
 )
 
-// Matrix is an immutable n×n sparse matrix with int64 entries in CSR form.
-// The zero value is an empty 0×0 matrix.
-type Matrix struct {
-	n      int
-	rowPtr []int32 // length n+1
-	colIdx []int32 // length nnz
-	val    []int64 // length nnz
-}
+// Matrix is an immutable n×n sparse matrix with int64 entries in CSR
+// form — the generic kernel instantiated at the integer semiring. The
+// zero value is an empty 0×0 matrix.
+type Matrix GMatrix[int64]
+
+// gm views the matrix as its generic representation; the conversion is
+// free (identical layout).
+func (m *Matrix) gm() *GMatrix[int64] { return (*GMatrix[int64])(m) }
+
+func wrapInt(g *GMatrix[int64]) *Matrix { return (*Matrix)(g) }
 
 // Triple is a single (row, col, value) entry used to build a Matrix.
 type Triple struct {
@@ -79,23 +87,12 @@ func New(n int, triples []Triple) *Matrix {
 
 // Identity returns the n×n identity matrix.
 func Identity(n int) *Matrix {
-	m := &Matrix{
-		n:      n,
-		rowPtr: make([]int32, n+1),
-		colIdx: make([]int32, n),
-		val:    make([]int64, n),
-	}
-	for i := 0; i < n; i++ {
-		m.rowPtr[i+1] = int32(i + 1)
-		m.colIdx[i] = int32(i)
-		m.val[i] = 1
-	}
-	return m
+	return wrapInt(GIdentity[int64](IntRing{}, n))
 }
 
 // Zero returns the n×n all-zero matrix.
 func Zero(n int) *Matrix {
-	return &Matrix{n: n, rowPtr: make([]int32, n+1)}
+	return wrapInt(GZero[int64](n))
 }
 
 // Dim returns the dimension n of the n×n matrix.
@@ -109,29 +106,19 @@ func (m *Matrix) At(row, col int) int64 {
 	if row < 0 || row >= m.n || col < 0 || col >= m.n {
 		panic(fmt.Sprintf("sparse: At(%d,%d) out of range for n=%d", row, col, m.n))
 	}
-	lo, hi := int(m.rowPtr[row]), int(m.rowPtr[row+1])
-	i := sort.Search(hi-lo, func(k int) bool { return m.colIdx[lo+k] >= int32(col) }) + lo
-	if i < hi && m.colIdx[i] == int32(col) {
-		return m.val[i]
-	}
-	return 0
+	v, _ := m.gm().Lookup(row, col)
+	return v
 }
 
 // Row calls fn(col, val) for each stored entry in the given row, in
 // ascending column order.
 func (m *Matrix) Row(row int, fn func(col int, val int64)) {
-	for i := m.rowPtr[row]; i < m.rowPtr[row+1]; i++ {
-		fn(int(m.colIdx[i]), m.val[i])
-	}
+	m.gm().Row(row, fn)
 }
 
 // Each calls fn(row, col, val) for every stored entry in row-major order.
 func (m *Matrix) Each(fn func(row, col int, val int64)) {
-	for r := 0; r < m.n; r++ {
-		for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
-			fn(r, int(m.colIdx[i]), m.val[i])
-		}
-	}
+	m.gm().Each(fn)
 }
 
 // Diag returns the main diagonal as a dense slice of length n.
@@ -145,30 +132,7 @@ func (m *Matrix) Diag() []int64 {
 
 // Transpose returns Mᵀ, the commuting matrix of a reverse traversal p⁻.
 func (m *Matrix) Transpose() *Matrix {
-	t := &Matrix{
-		n:      m.n,
-		rowPtr: make([]int32, m.n+1),
-		colIdx: make([]int32, len(m.colIdx)),
-		val:    make([]int64, len(m.val)),
-	}
-	// Count entries per column of m (= per row of t).
-	for _, c := range m.colIdx {
-		t.rowPtr[c+1]++
-	}
-	for r := 0; r < m.n; r++ {
-		t.rowPtr[r+1] += t.rowPtr[r]
-	}
-	next := make([]int32, m.n)
-	copy(next, t.rowPtr[:m.n])
-	for r := 0; r < m.n; r++ {
-		for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
-			c := m.colIdx[i]
-			t.colIdx[next[c]] = int32(r)
-			t.val[next[c]] = m.val[i]
-			next[c]++
-		}
-	}
-	return t
+	return wrapInt(m.gm().Transpose())
 }
 
 // Mul returns the matrix product m·o, the commuting matrix of a
@@ -183,75 +147,20 @@ func (m *Matrix) Mul(o *Matrix) *Matrix {
 // Add returns m + o element-wise, the commuting matrix of a disjunction
 // p1 + p2 with p1 ≠ p2. It panics if dimensions differ.
 func (m *Matrix) Add(o *Matrix) *Matrix {
-	if m.n != o.n {
-		panic(fmt.Sprintf("sparse: Add dimension mismatch %d vs %d", m.n, o.n))
-	}
-	s := &Matrix{n: m.n, rowPtr: make([]int32, m.n+1)}
-	for r := 0; r < m.n; r++ {
-		i, iEnd := m.rowPtr[r], m.rowPtr[r+1]
-		j, jEnd := o.rowPtr[r], o.rowPtr[r+1]
-		for i < iEnd || j < jEnd {
-			switch {
-			case j >= jEnd || (i < iEnd && m.colIdx[i] < o.colIdx[j]):
-				s.colIdx = append(s.colIdx, m.colIdx[i])
-				s.val = append(s.val, m.val[i])
-				i++
-			case i >= iEnd || o.colIdx[j] < m.colIdx[i]:
-				s.colIdx = append(s.colIdx, o.colIdx[j])
-				s.val = append(s.val, o.val[j])
-				j++
-			default:
-				if v := m.val[i] + o.val[j]; v != 0 {
-					s.colIdx = append(s.colIdx, m.colIdx[i])
-					s.val = append(s.val, v)
-				}
-				i++
-				j++
-			}
-		}
-		s.rowPtr[r+1] = int32(len(s.colIdx))
-	}
-	return s
+	return wrapInt(GAdd(IntRing{}, m.gm(), o.gm()))
 }
 
 // Boolean returns M > 0: each positive entry becomes 1, everything else 0.
 // This is the commuting matrix of the skip operation ⌈⌈p⌋⌋.
 func (m *Matrix) Boolean() *Matrix {
-	b := &Matrix{n: m.n, rowPtr: make([]int32, m.n+1)}
-	for r := 0; r < m.n; r++ {
-		for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
-			if m.val[i] > 0 {
-				b.colIdx = append(b.colIdx, m.colIdx[i])
-				b.val = append(b.val, 1)
-			}
-		}
-		b.rowPtr[r+1] = int32(len(b.colIdx))
-	}
-	return b
+	return wrapInt(GBoolean(IntRing{}, m.gm()))
 }
 
 // DiagMulBool returns diag{ m · (mᵀ > 0) }: the diagonal matrix whose
 // (u,u) entry counts instances of the nested pattern [p] at node u
 // (paper §4.3, M_{[p]} = diag{M_p (M_pᵀ > 0)}).
 func (m *Matrix) DiagMulBool() *Matrix {
-	// The (u,u) entry of M (Mᵀ>0) is Σ_v M(u,v)·[M(v,u)ᵀ>0] = Σ_v M(u,v)·[M(u,v)>0],
-	// i.e. the row sum of positive entries. Computing it directly avoids the
-	// full product.
-	d := &Matrix{n: m.n, rowPtr: make([]int32, m.n+1)}
-	for r := 0; r < m.n; r++ {
-		var sum int64
-		for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
-			if m.val[i] > 0 {
-				sum += m.val[i]
-			}
-		}
-		if sum != 0 {
-			d.colIdx = append(d.colIdx, int32(r))
-			d.val = append(d.val, sum)
-		}
-		d.rowPtr[r+1] = int32(len(d.colIdx))
-	}
-	return d
+	return wrapInt(GDiagMulBool(IntRing{}, m.gm()))
 }
 
 // Scale returns m with every entry multiplied by k. Scale(0) is Zero(n).
@@ -314,14 +223,7 @@ func (m *Matrix) Sum() int64 {
 // where m is interpreted as a boolean relation. This implements the set
 // semantics of Kleene star instances I(p*) collapsed to reachability.
 func (m *Matrix) BooleanClosure() *Matrix {
-	cur := Identity(m.n).Add(m.Boolean()).Boolean()
-	for {
-		next := cur.Mul(cur).Boolean()
-		if next.Equal(cur) {
-			return cur
-		}
-		cur = next
-	}
+	return wrapInt(GBooleanClosure(IntRing{}, m.gm(), DefaultThresholds()))
 }
 
 // String renders small matrices densely for debugging; large matrices

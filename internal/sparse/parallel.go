@@ -1,18 +1,13 @@
 package sparse
 
-import (
-	"fmt"
-	"runtime"
-	"sort"
-	"sync"
-)
-
-// Parallel SpGEMM. Row-wise Gustavson multiplication is embarrassingly
-// parallel across output rows; for the large commuting-matrix products
-// on experiment-scale graphs this is the dominant cost, so Mul switches
-// to a row-partitioned parallel kernel above a size threshold. Results
-// are bit-identical to the serial kernel (each row is computed
-// independently and concatenated in order).
+// Parallel SpGEMM gating. Row-wise Gustavson multiplication is
+// embarrassingly parallel across output rows; for the large
+// commuting-matrix products on experiment-scale graphs this is the
+// dominant cost, so Mul switches to a row-partitioned parallel kernel
+// above a size threshold. Results are bit-identical to the serial
+// kernel (each row is computed independently and concatenated in
+// order). The kernels themselves are generic over the semiring and live
+// in kernel.go.
 
 const (
 	// parallelMinDim and parallelMinNNZ gate the parallel kernel; small
@@ -39,129 +34,16 @@ func DefaultThresholds() Thresholds {
 // MulThresh is Mul with an explicit parallel-kernel gate. The result is
 // bit-identical whichever kernel runs. It panics if dimensions differ.
 func (m *Matrix) MulThresh(o *Matrix, t Thresholds) *Matrix {
-	if m.n != o.n {
-		panic(fmt.Sprintf("sparse: Mul dimension mismatch %d vs %d", m.n, o.n))
-	}
-	if len(m.val) == 0 {
-		return Zero(m.n)
-	}
-	// Ultra-sparse left operand (a commit delta, typically): nnz bounds
-	// the number of nonzero rows, so visit only those rows instead of a
-	// full Gustavson pass with an O(n) dense scratch row.
-	if len(m.val)*fewRowsRatio <= m.n {
-		return m.mulFewRows(o)
-	}
-	if m.n >= t.MinDim && len(m.val)+len(o.val) >= t.MinNNZ {
-		return m.mulParallel(o)
-	}
-	return m.mulSerial(o)
+	return wrapInt(GMulThresh(IntRing{}, m.gm(), o.gm(), t))
 }
 
-// mulSerial is the single-threaded Gustavson kernel.
+// mulSerial and mulParallel expose the individual integer kernels so
+// tests can assert the parallel kernel is bit-identical to the serial
+// one regardless of the gate.
 func (m *Matrix) mulSerial(o *Matrix) *Matrix {
-	p := &Matrix{n: m.n, rowPtr: make([]int32, m.n+1)}
-	acc := make([]int64, m.n)
-	touched := make([]int32, 0, 64)
-	for r := 0; r < m.n; r++ {
-		touched = mulRow(m, o, r, acc, touched[:0])
-		for _, c := range touched {
-			if acc[c] != 0 {
-				p.colIdx = append(p.colIdx, c)
-				p.val = append(p.val, acc[c])
-			}
-			acc[c] = 0
-		}
-		p.rowPtr[r+1] = int32(len(p.colIdx))
-	}
-	return p
+	return wrapInt(gMulSerial(IntRing{}, m.gm(), o.gm()))
 }
 
-// mulRow accumulates row r of m·o into acc, returning the touched
-// column indices sorted ascending.
-func mulRow(m, o *Matrix, r int, acc []int64, touched []int32) []int32 {
-	for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
-		k := m.colIdx[i]
-		mv := m.val[i]
-		for j := o.rowPtr[k]; j < o.rowPtr[k+1]; j++ {
-			c := o.colIdx[j]
-			if acc[c] == 0 {
-				touched = append(touched, c)
-			}
-			acc[c] += mv * o.val[j]
-		}
-	}
-	sort.Slice(touched, func(a, b int) bool { return touched[a] < touched[b] })
-	return touched
-}
-
-// mulParallel partitions output rows across workers.
 func (m *Matrix) mulParallel(o *Matrix) *Matrix {
-	workers := runtime.NumCPU()
-	if workers > m.n {
-		workers = m.n
-	}
-	type chunk struct {
-		colIdx []int32
-		val    []int64
-		rows   []int32 // per-row nnz within the chunk
-	}
-	chunks := make([]chunk, workers)
-	var wg sync.WaitGroup
-	rowsPer := (m.n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * rowsPer
-		hi := lo + rowsPer
-		if hi > m.n {
-			hi = m.n
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			acc := make([]int64, m.n)
-			touched := make([]int32, 0, 64)
-			ck := chunk{rows: make([]int32, hi-lo)}
-			for r := lo; r < hi; r++ {
-				touched = mulRow(m, o, r, acc, touched[:0])
-				var nnz int32
-				for _, c := range touched {
-					if acc[c] != 0 {
-						ck.colIdx = append(ck.colIdx, c)
-						ck.val = append(ck.val, acc[c])
-						nnz++
-					}
-					acc[c] = 0
-				}
-				ck.rows[r-lo] = nnz
-			}
-			chunks[w] = ck
-		}(w, lo, hi)
-	}
-	wg.Wait()
-
-	total := 0
-	for _, ck := range chunks {
-		total += len(ck.val)
-	}
-	p := &Matrix{
-		n:      m.n,
-		rowPtr: make([]int32, m.n+1),
-		colIdx: make([]int32, 0, total),
-		val:    make([]int64, 0, total),
-	}
-	row := 0
-	for _, ck := range chunks {
-		for _, nnz := range ck.rows {
-			p.rowPtr[row+1] = p.rowPtr[row] + nnz
-			row++
-		}
-		p.colIdx = append(p.colIdx, ck.colIdx...)
-		p.val = append(p.val, ck.val...)
-	}
-	for ; row < m.n; row++ {
-		p.rowPtr[row+1] = p.rowPtr[row]
-	}
-	return p
+	return wrapInt(gMulParallel(IntRing{}, m.gm(), o.gm()))
 }

@@ -238,6 +238,15 @@ func WithServerDeltaMaxDensity(f float64) ServerOption {
 	return server.WithDeltaMaxDensity(f)
 }
 
+// WithServerAnnotation toggles semiring-annotated evaluation (default
+// on): the annotate=witness parameter on /search, /batch and /explain,
+// which attaches instance counts and a bounded witness-derivation
+// prefix to each answer and turns a warm /explain into a pure
+// projection of the cached annotation. Off rejects annotated requests.
+func WithServerAnnotation(on bool) ServerOption {
+	return server.WithAnnotation(on)
+}
+
 // WithServerDurability toggles the server's durability surface (default
 // on): the GET /log replication catch-up feed and the durability
 // section of /stats. Turn it off when the update feed must not be
@@ -539,6 +548,38 @@ func (e *Engine) Explain(p *Pattern, u, v NodeID, limit int) []string {
 		out[i] = in.Render(e.g)
 	}
 	return out
+}
+
+// WitnessExplanation is the library-level witness annotation for one
+// node pair: the instance count of the pattern from u to v plus the
+// intermediate nodes of one canonical (shortlex-minimal) derivation.
+// Steps holds at most sparse.MaxWitnessSteps nodes; when the derivation
+// visits more, Steps is a prefix and Truncated is set. PathNodes is the
+// derivation's full intermediate-node count.
+type WitnessExplanation struct {
+	Count     int64
+	Steps     []NodeID
+	PathNodes int
+	Truncated bool
+}
+
+// ExplainWitness answers "why are u and v similar under p?" from the
+// witness semiring: one evaluation of the pattern's commuting matrix
+// over provenance-carrying values yields, for every reachable pair, the
+// instance count and a canonical derivation — so explaining many pairs
+// of the same pattern costs one matrix evaluation, not one instance
+// enumeration each. It reports false when no instance connects u to v.
+// For the exhaustive listing of instances, use Explain.
+func (e *Engine) ExplainWitness(p *Pattern, u, v NodeID) (WitnessExplanation, bool) {
+	w, ok := eval.WitnessLookup(e.ev.CommutingWitness(p), u, v)
+	if !ok {
+		return WitnessExplanation{}, false
+	}
+	ex := WitnessExplanation{Count: w.Count, PathNodes: int(w.Total), Truncated: w.Truncated()}
+	for _, id := range w.Steps() {
+		ex.Steps = append(ex.Steps, NodeID(id))
+	}
+	return ex, true
 }
 
 // ConjunctivePattern is the conjunctive RRE extension for relationships

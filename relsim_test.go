@@ -184,6 +184,32 @@ func TestEngineInstanceCount(t *testing.T) {
 	}
 }
 
+func TestEngineExplainWitness(t *testing.T) {
+	g, courses, _ := courseGraph()
+	eng := NewEngine(g, courseSchema())
+	p := MustParsePattern("co-.os.os-.co")
+	// course0 and course1 share subjects A and B; the derivation visits
+	// offer → subject → offer, three intermediate nodes.
+	ex, ok := eng.ExplainWitness(p, courses[0], courses[1])
+	if !ok {
+		t.Fatal("no witness for connected pair course0→course1")
+	}
+	if want := eng.InstanceCount(p, courses[0], courses[1]); ex.Count != want {
+		t.Errorf("witness count = %d, want %d (InstanceCount)", ex.Count, want)
+	}
+	if len(ex.Steps) != 3 || ex.PathNodes != 3 || ex.Truncated {
+		t.Errorf("witness derivation = %+v, want 3 untruncated steps", ex)
+	}
+	for _, id := range ex.Steps {
+		if !g.Has(id) {
+			t.Errorf("witness step %d is not a graph node", id)
+		}
+	}
+	if _, ok := eng.ExplainWitness(p, courses[0], courses[3]); ok {
+		t.Error("witness reported for disconnected pair course0→course3 (no shared subject)")
+	}
+}
+
 func TestEngineBaselineWrappers(t *testing.T) {
 	g, courses, _ := courseGraph()
 	eng := NewEngine(g, courseSchema())
