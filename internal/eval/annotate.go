@@ -66,11 +66,21 @@ func (a annotator[T, R]) mul(x, y *sparse.GMatrix[T]) *sparse.GMatrix[T] {
 	e.checkCanceled()
 	e.mu.Lock()
 	gate, hook := e.gate, e.mulHook
+	part, blockHook := e.partition, e.blockHook
 	e.mu.Unlock()
 	if hook != nil {
 		hook(nil, nil)
 	}
 	e.counters.Products.Add(1)
+	if !part.Trivial() {
+		// The scatter-gather path is ring-generic, so witness and counting
+		// annotations shard through the identical block merge as integers.
+		m, st := sparse.GMulBlocked(a.ring, x, y, part, gate)
+		if blockHook != nil {
+			blockHook(st)
+		}
+		return m
+	}
 	return sparse.GMulThresh(a.ring, x, y, gate)
 }
 

@@ -1,0 +1,230 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"relsim/internal/sparse"
+)
+
+// ShardedSnapshot is an immutable View assembled from K per-shard
+// snapshots under a row partition of the node-id space.
+//
+// The sharding is 1D (by edge source): every shard carries the full
+// node table — so local node ids coincide with global ids and every
+// per-shard adjacency stays a square n×n matrix — while shard s stores
+// exactly the edges whose source node s owns. Out(u) is therefore
+// answered entirely by u's owner shard; In(v) gathers the per-shard
+// in-lists; Adjacency(label) is the row-disjoint merge of the K shard
+// blocks, byte-identical to the monolithic CSR. Structural sharing is
+// preserved per shard: each shard snapshot derives copy-on-write from
+// its own predecessor, untouched shards alias their previous version.
+type ShardedSnapshot struct {
+	part   sparse.Partition
+	shards []*Snapshot
+}
+
+var _ View = (*ShardedSnapshot)(nil)
+
+// NewShardedSnapshot assembles a sharded view from per-shard snapshots.
+// It panics if the shard count disagrees with the partition or the
+// shards disagree on the node table size (they must all carry the full
+// table).
+func NewShardedSnapshot(part sparse.Partition, shards []*Snapshot) *ShardedSnapshot {
+	if len(shards) != part.K() {
+		panic(fmt.Sprintf("graph: %d shard snapshots for K=%d", len(shards), part.K()))
+	}
+	n := shards[0].NumNodes()
+	for i, sh := range shards[1:] {
+		if sh.NumNodes() != n {
+			panic(fmt.Sprintf("graph: shard %d has %d nodes, shard 0 has %d", i+1, sh.NumNodes(), n))
+		}
+	}
+	return &ShardedSnapshot{part: part, shards: shards}
+}
+
+// SplitGraph scatters g into K per-shard graphs: every shard receives
+// the full node table, shard s receives the edges whose source it owns.
+// With a trivial partition the result is a single clone of g.
+func SplitGraph(g *Graph, part sparse.Partition) []*Graph {
+	shards := make([]*Graph, part.K())
+	for s := range shards {
+		shards[s] = New()
+	}
+	for _, nd := range g.nodes {
+		for _, sh := range shards {
+			sh.AddNode(nd.Name, nd.Type)
+		}
+	}
+	g.EachEdge(func(e Edge) {
+		shards[part.Owner(int(e.From))].AddEdge(e.From, e.Label, e.To)
+	})
+	return shards
+}
+
+// Partition returns the row partition the view was assembled under.
+func (s *ShardedSnapshot) Partition() sparse.Partition { return s.part }
+
+// NumShards returns K.
+func (s *ShardedSnapshot) NumShards() int { return len(s.shards) }
+
+// Shard returns the snapshot of shard i.
+func (s *ShardedSnapshot) Shard(i int) *Snapshot { return s.shards[i] }
+
+// Locate maps a global node id to its (shard, local id) pair. Because
+// every shard replicates the node table, the local id equals the global
+// id — the mapping's job is picking the owner.
+func (s *ShardedSnapshot) Locate(id NodeID) (shard int, local NodeID) {
+	return s.part.Owner(int(id)), id
+}
+
+// NumNodes returns the number of nodes (identical on every shard).
+func (s *ShardedSnapshot) NumNodes() int { return s.shards[0].NumNodes() }
+
+// NumEdges sums the per-shard edge counts; edges are partitioned by
+// source, so the sum is exact.
+func (s *ShardedSnapshot) NumEdges() int {
+	total := 0
+	for _, sh := range s.shards {
+		total += sh.NumEdges()
+	}
+	return total
+}
+
+// Has reports whether id is a node.
+func (s *ShardedSnapshot) Has(id NodeID) bool { return s.shards[0].Has(id) }
+
+// Node returns the node with the given id; it panics if id is invalid.
+func (s *ShardedSnapshot) Node(id NodeID) Node { return s.shards[0].Node(id) }
+
+// NodeByName returns the first node added with the given name.
+func (s *ShardedSnapshot) NodeByName(name string) (Node, bool) { return s.shards[0].NodeByName(name) }
+
+// Labels returns the sorted union of the per-shard label sets.
+func (s *ShardedSnapshot) Labels() []string {
+	if len(s.shards) == 1 {
+		return s.shards[0].Labels()
+	}
+	set := map[string]struct{}{}
+	for _, sh := range s.shards {
+		for l := range sh.out {
+			set[l] = struct{}{}
+		}
+	}
+	ls := make([]string, 0, len(set))
+	for l := range set {
+		ls = append(ls, l)
+	}
+	sort.Strings(ls)
+	return ls
+}
+
+// HasLabel reports whether any shard holds an edge with the label.
+func (s *ShardedSnapshot) HasLabel(label string) bool {
+	for _, sh := range s.shards {
+		if sh.HasLabel(label) {
+			return true
+		}
+	}
+	return false
+}
+
+// Out returns the out-neighbors of u via label — answered exactly by
+// u's owner shard, which holds all of u's out-edges.
+func (s *ShardedSnapshot) Out(u NodeID, label string) []NodeID {
+	if u < 0 || int(u) >= s.NumNodes() {
+		return nil
+	}
+	return s.shards[s.part.Owner(int(u))].Out(u, label)
+}
+
+// In returns the in-neighbors of v via label, gathered shard by shard
+// in shard order. With K=1 this is the monolithic list verbatim; with
+// K>1 the multiset is identical but grouped by the source's owner.
+func (s *ShardedSnapshot) In(v NodeID, label string) []NodeID {
+	if len(s.shards) == 1 {
+		return s.shards[0].In(v, label)
+	}
+	var merged []NodeID
+	for _, sh := range s.shards {
+		merged = append(merged, sh.In(v, label)...)
+	}
+	return merged
+}
+
+// HasEdge reports whether at least one (u, label, v) edge exists.
+func (s *ShardedSnapshot) HasEdge(u NodeID, label string, v NodeID) bool {
+	for _, w := range s.Out(u, label) {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// EdgeCount returns the number of parallel (u, label, v) edges.
+func (s *ShardedSnapshot) EdgeCount(u NodeID, label string, v NodeID) int {
+	n := 0
+	for _, w := range s.Out(u, label) {
+		if w == v {
+			n++
+		}
+	}
+	return n
+}
+
+// Degree returns the total degree (in + out, all labels) of u. Out
+// edges of u live only on u's owner shard and in-edges are scattered,
+// so summing the per-shard degrees counts each edge exactly once.
+func (s *ShardedSnapshot) Degree(u NodeID) int {
+	d := 0
+	for _, sh := range s.shards {
+		d += sh.Degree(u)
+	}
+	return d
+}
+
+// NodesOfType returns the ids of all nodes with the given type tag.
+func (s *ShardedSnapshot) NodesOfType(typ string) []NodeID { return s.shards[0].NodesOfType(typ) }
+
+// Adjacency returns the n×n adjacency matrix of the label, gathered as
+// the row-disjoint merge of the per-shard blocks. Each shard's block is
+// already full-dimension (replicated node table) and holds exactly the
+// rows the shard owns, so the merge is byte-identical to the CSR the
+// monolithic snapshot would build.
+func (s *ShardedSnapshot) Adjacency(label string) *sparse.Matrix {
+	if len(s.shards) == 1 {
+		return s.shards[0].Adjacency(label)
+	}
+	blocks := make([]*sparse.Matrix, len(s.shards))
+	for i, sh := range s.shards {
+		blocks[i] = sh.Adjacency(label)
+	}
+	return sparse.MergeRowDisjoint(s.part, blocks, s.NumNodes())
+}
+
+// Stats returns summary statistics of the assembled view.
+func (s *ShardedSnapshot) Stats() Stats {
+	return Stats{Nodes: s.NumNodes(), Edges: s.NumEdges(), Labels: s.Labels()}
+}
+
+// EachEdge calls fn for every edge, grouped by label then source node —
+// the same deterministic order as Snapshot.EachEdge, which is what
+// keeps checkpoint streams and TSV exports of a sharded view identical
+// to the monolithic ones.
+func (s *ShardedSnapshot) EachEdge(fn func(e Edge)) {
+	n := s.NumNodes()
+	for _, l := range s.Labels() {
+		for u := 0; u < n; u++ {
+			sh := s.shards[s.part.Owner(u)]
+			for _, v := range sh.Out(NodeID(u), l) {
+				fn(Edge{From: NodeID(u), Label: l, To: v})
+			}
+		}
+	}
+}
+
+// String implements fmt.Stringer with a short summary.
+func (s *ShardedSnapshot) String() string {
+	return fmt.Sprintf("sharded{k=%d nodes=%d edges=%d}", len(s.shards), s.NumNodes(), s.NumEdges())
+}

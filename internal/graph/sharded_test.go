@@ -1,0 +1,202 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"relsim/internal/sparse"
+)
+
+// randGraph builds a random labeled graph with n nodes and ~m edges.
+func randGraph(rng *rand.Rand, n, m int) *Graph {
+	g := New()
+	types := []string{"author", "paper", "venue"}
+	for i := 0; i < n; i++ {
+		g.AddNode(fmt.Sprintf("n%d", i), types[i%len(types)])
+	}
+	labels := []string{"writes", "cites", "publishedIn", "knows"}
+	for i := 0; i < m; i++ {
+		u := NodeID(rng.Intn(n))
+		v := NodeID(rng.Intn(n))
+		g.AddEdge(u, labels[rng.Intn(len(labels))], v)
+	}
+	return g
+}
+
+func testPartitions(t *testing.T, n int) []sparse.Partition {
+	t.Helper()
+	var ps []sparse.Partition
+	for _, fn := range []string{sparse.PartitionHash, sparse.PartitionRange} {
+		for _, k := range []int{1, 2, 4, 7} {
+			p, err := sparse.NewPartition(k, fn, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps = append(ps, p)
+		}
+	}
+	return ps
+}
+
+func shardedFrom(t *testing.T, g *Graph, p sparse.Partition) *ShardedSnapshot {
+	t.Helper()
+	parts := SplitGraph(g, p)
+	snaps := make([]*Snapshot, len(parts))
+	for i, pg := range parts {
+		snaps[i] = pg.Snapshot()
+	}
+	return NewShardedSnapshot(p, snaps)
+}
+
+func sortedCopy(ids []NodeID) []NodeID {
+	out := append([]NodeID(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestShardedSnapshotViewEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	g := randGraph(rng, 60, 400)
+	mono := g.Snapshot()
+	for _, p := range testPartitions(t, g.NumNodes()) {
+		name := fmt.Sprintf("%s/%d", p.Fn(), p.K())
+		sh := shardedFrom(t, g, p)
+
+		if sh.NumNodes() != mono.NumNodes() {
+			t.Fatalf("%s: NumNodes %d != %d", name, sh.NumNodes(), mono.NumNodes())
+		}
+		if sh.NumEdges() != mono.NumEdges() {
+			t.Fatalf("%s: NumEdges %d != %d", name, sh.NumEdges(), mono.NumEdges())
+		}
+		if !reflect.DeepEqual(sh.Labels(), mono.Labels()) {
+			t.Fatalf("%s: Labels %v != %v", name, sh.Labels(), mono.Labels())
+		}
+		for _, label := range mono.Labels() {
+			for u := NodeID(0); int(u) < g.NumNodes(); u++ {
+				// Out is served verbatim by the owning shard.
+				if got, want := sh.Out(u, label), mono.Out(u, label); !reflect.DeepEqual(got, want) && len(got)+len(want) > 0 {
+					t.Fatalf("%s: Out(%d,%s) = %v, want %v", name, u, label, got, want)
+				}
+				// In gathers shard-by-shard: same multiset, order may differ.
+				got, want := sortedCopy(sh.In(u, label)), sortedCopy(mono.In(u, label))
+				if !reflect.DeepEqual(got, want) && len(got)+len(want) > 0 {
+					t.Fatalf("%s: In(%d,%s) = %v, want %v", name, u, label, got, want)
+				}
+			}
+		}
+		for u := NodeID(0); int(u) < g.NumNodes(); u++ {
+			if sh.Degree(u) != mono.Degree(u) {
+				t.Fatalf("%s: Degree(%d) = %d, want %d", name, u, sh.Degree(u), mono.Degree(u))
+			}
+			if sh.Node(u) != mono.Node(u) {
+				t.Fatalf("%s: Node(%d) mismatch", name, u)
+			}
+		}
+	}
+}
+
+func TestShardedSnapshotAdjacencyBitIdentity(t *testing.T) {
+	// The gathered adjacency matrix is the input to every SpGEMM the
+	// evaluator runs; it must be byte-identical to the monolithic CSR.
+	rng := rand.New(rand.NewSource(23))
+	g := randGraph(rng, 80, 600)
+	mono := g.Snapshot()
+	for _, p := range testPartitions(t, g.NumNodes()) {
+		sh := shardedFrom(t, g, p)
+		for _, label := range mono.Labels() {
+			if !sh.Adjacency(label).Equal(mono.Adjacency(label)) {
+				t.Fatalf("%s/%d: Adjacency(%s) diverges from monolithic", p.Fn(), p.K(), label)
+			}
+		}
+	}
+}
+
+func TestShardedSnapshotEachEdgeOrder(t *testing.T) {
+	// EachEdge must replay edges in exactly the monolithic order so that
+	// exports and checkpoints are byte-identical regardless of K.
+	rng := rand.New(rand.NewSource(29))
+	g := randGraph(rng, 40, 250)
+	mono := g.Snapshot()
+	var want []Edge
+	mono.EachEdge(func(e Edge) { want = append(want, e) })
+	for _, p := range testPartitions(t, g.NumNodes()) {
+		sh := shardedFrom(t, g, p)
+		var got []Edge
+		sh.EachEdge(func(e Edge) { got = append(got, e) })
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s/%d: EachEdge order diverges from monolithic", p.Fn(), p.K())
+		}
+	}
+}
+
+func TestSplitGraphOwnership(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := randGraph(rng, 50, 300)
+	p, err := sparse.NewPartition(4, sparse.PartitionHash, g.NumNodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := SplitGraph(g, p)
+	if len(parts) != 4 {
+		t.Fatalf("SplitGraph: %d parts, want 4", len(parts))
+	}
+	total := 0
+	for s, pg := range parts {
+		// Every shard replicates the full node table.
+		if pg.NumNodes() != g.NumNodes() {
+			t.Fatalf("shard %d: NumNodes %d, want %d", s, pg.NumNodes(), g.NumNodes())
+		}
+		// A shard stores only edges whose source it owns.
+		pg.EachEdge(func(e Edge) {
+			if p.Owner(int(e.From)) != s {
+				t.Fatalf("shard %d holds edge %v owned by shard %d", s, e, p.Owner(int(e.From)))
+			}
+		})
+		total += pg.NumEdges()
+	}
+	if total != g.NumEdges() {
+		t.Fatalf("edges across shards sum to %d, want %d", total, g.NumEdges())
+	}
+}
+
+func TestShardedSnapshotLocate(t *testing.T) {
+	g := randGraph(rand.New(rand.NewSource(37)), 20, 60)
+	p, _ := sparse.NewPartition(3, sparse.PartitionHash, g.NumNodes())
+	sh := shardedFrom(t, g, p)
+	for u := NodeID(0); int(u) < g.NumNodes(); u++ {
+		shard, local := sh.Locate(u)
+		if shard != p.Owner(int(u)) {
+			t.Fatalf("Locate(%d) shard = %d, want %d", u, shard, p.Owner(int(u)))
+		}
+		// Full node-table replication: local id == global id.
+		if local != u {
+			t.Fatalf("Locate(%d) local = %d, want %d", u, local, u)
+		}
+	}
+}
+
+func TestShardedSnapshotEmptyShard(t *testing.T) {
+	// Range partition where high shards own no edge sources at all.
+	g := New()
+	for i := 0; i < 12; i++ {
+		g.AddNode(fmt.Sprintf("n%d", i), "t")
+	}
+	g.AddEdge(0, "l", 11) // source on shard 0, target on shard 3
+	g.AddEdge(1, "l", 2)
+	p, _ := sparse.NewPartition(4, sparse.PartitionRange, g.NumNodes())
+	sh := shardedFrom(t, g, p)
+	mono := g.Snapshot()
+	if sh.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", sh.NumEdges())
+	}
+	if !sh.Adjacency("l").Equal(mono.Adjacency("l")) {
+		t.Fatal("adjacency diverges with empty shards")
+	}
+	// Cross-shard endpoint: In(11) must find the edge held by shard 0.
+	if got := sh.In(11, "l"); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("In(11) = %v, want [0]", got)
+	}
+}

@@ -1,0 +1,30 @@
+package server
+
+// Scatter-gather observability for a server backed by a
+// store.ShardedStore. The store registers its own per-shard occupancy
+// series (relsim_shard_nodes/edges/wal_records and relsim_shard_count —
+// see store.ShardedStore.Instrument); the server adds the evaluation
+// side: how much block-SpGEMM work the serving path performs and how
+// much of its output crosses shard boundaries into the gather. All are
+// scrape-time callbacks over the same counters /stats reports under
+// "sharding", so the two surfaces cannot drift.
+
+import "relsim/internal/telemetry"
+
+// instrumentShards registers the relsim_shard_block_* series. Only a
+// server over a sharded store registers them: a monolithic server's
+// /metrics surface is unchanged by the sharding layer.
+func (s *Server) instrumentShards(reg *telemetry.Registry) {
+	reg.CounterFunc("relsim_shard_block_products_total",
+		"Row-block products performed by the scatter-gather SpGEMM kernel.",
+		func() float64 { return float64(s.nBlockProducts.Load()) })
+	reg.CounterFunc("relsim_shard_blocks_skipped_total",
+		"Row blocks skipped because the owning shard's operand block was empty.",
+		func() float64 { return float64(s.nBlocksSkipped.Load()) })
+	reg.CounterFunc("relsim_shard_block_local_entries_total",
+		"Block-product result entries whose column the producing shard owns.",
+		func() float64 { return float64(s.nBlockLocal.Load()) })
+	reg.CounterFunc("relsim_shard_block_cross_entries_total",
+		"Block-product result entries crossing a shard boundary into the gather.",
+		func() float64 { return float64(s.nBlockCross.Load()) })
+}

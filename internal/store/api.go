@@ -1,0 +1,55 @@
+package store
+
+import (
+	"context"
+	"io"
+
+	"relsim/internal/graph"
+	"relsim/internal/telemetry"
+)
+
+// API is the store surface the server, CLI and facade are written
+// against: everything a serving process needs from an MVCC graph store,
+// satisfied by both the monolithic *Store and the horizontally
+// partitioned *ShardedStore. Code that needs the monolithic snapshot
+// type specifically (offline tooling, tests) keeps using *Store
+// directly; the serving path sees only views.
+type API interface {
+	// Read path.
+	View() (graph.View, uint64)
+	Version() uint64
+	Pin() *Pin
+	Stats() Stats
+	PinStats() PinStats
+	OldestPinned() uint64
+
+	// Write path.
+	Update(fn func(tx *Tx) error) error
+	OnUpdate(fn func([]Update))
+	AddNode(name, typ string) graph.NodeID
+	AddEdge(u graph.NodeID, label string, v graph.NodeID) error
+	RemoveEdge(u graph.NodeID, label string, v graph.NodeID) error
+
+	// Replication feed.
+	Log(since uint64) []Update
+	LogFeed(since uint64, max int) Feed
+	LogFeedContext(ctx context.Context, since uint64, max int) (Feed, error)
+	SetLogRetention(n int)
+	Reset(g *graph.Graph, version uint64) error
+
+	// Durability.
+	Durable() bool
+	DurabilityStats() DurabilityStats
+	Checkpoint() error
+	CheckpointVersion() uint64
+	CheckpointReader() (io.ReadCloser, uint64, int64, error)
+
+	// Lifecycle and observability.
+	Close() error
+	Instrument(reg *telemetry.Registry)
+}
+
+var (
+	_ API = (*Store)(nil)
+	_ API = (*ShardedStore)(nil)
+)

@@ -1,0 +1,852 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"relsim/internal/graph"
+	"relsim/internal/sparse"
+	"relsim/internal/telemetry"
+)
+
+// ShardedStore is the horizontal-sharding coordinator: K independent
+// MVCC stores — each with its own WAL, checkpoints and copy-on-write
+// snapshot chain — published behind one logical version as a
+// graph.ShardedSnapshot.
+//
+// Sharding is by edge source (see graph.ShardedSnapshot): every shard
+// replicates the node table, shard s materializes only the edges whose
+// source it owns. Every shard's WAL, however, receives the FULL logical
+// update stream, keyed by the logical version counter:
+//
+//   - the version counter stays global, so (version, pattern) cache
+//     keys and the replication protocol are untouched;
+//   - any single shard's WAL can replay the complete history (recovery
+//     heals a shard that crashed mid-commit from a sibling's feed);
+//   - the /log replication feed is served verbatim from shard 0.
+//
+// A shard's recovery replays its WAL through a materialization filter
+// that skips non-owned edge mutations while still advancing the version
+// counter, so the filtered graph and the logical clock stay in step.
+//
+// Commit protocol (Update): phase 1 appends the batch to every shard's
+// WAL; only after ALL appends succeed does phase 2 atomically publish
+// the per-shard snapshots and the composite view under the single new
+// logical version. A failure before any append succeeded rolls the
+// batch back cleanly. A failure AFTER some shard accepted the append
+// poisons the store — later writes fail with ErrDurability, reads keep
+// serving the last published version — because the shards' durable
+// histories have diverged and only a restart (whose recovery heals
+// lagging shards forward from an ahead sibling) can reconcile them.
+//
+// K=1 is the degenerate case used by the differential harness: one
+// shard owning everything, one WAL, identical bytes everywhere.
+type ShardedStore struct {
+	part   sparse.Partition
+	shards []*Store
+
+	current atomic.Pointer[shardedVersioned]
+
+	// writeMu serializes writers across all shards (the logical version
+	// chain is single-writer, exactly like Store).
+	writeMu  sync.Mutex
+	onUpdate func([]Update)
+
+	// mu guards the pin registry; the composite publish happens under it
+	// so Pin's load-and-register is atomic with respect to commits.
+	mu   sync.Mutex
+	pins map[uint64]int
+
+	closed   atomic.Bool
+	poisoned atomic.Bool
+
+	obs      atomic.Pointer[storeObs]
+	shardObs atomic.Pointer[shardObs]
+}
+
+// shardedVersioned pairs the composite view with its logical version.
+type shardedVersioned struct {
+	view    *graph.ShardedSnapshot
+	version uint64
+}
+
+// ErrPoisoned marks a write refused because an earlier cross-shard
+// commit failed after some shards had durably accepted it: the shards'
+// WALs have diverged and writes stay fenced until a restart's recovery
+// heals them. Wrapped together with ErrDurability.
+var ErrPoisoned = errors.New("cross-shard commit diverged; restart to heal")
+
+// shardingManifestName is the partition manifest persisted in a sharded
+// data directory. Ownership must be stable across restarts (a range
+// partition's chunk depends on the node count at creation; reshuffling
+// owners would break filtered WAL replay), so the manifest is written
+// once at creation and every later open validates against it.
+const shardingManifestName = "sharding.json"
+
+type shardingManifest struct {
+	K     int    `json:"shards"`
+	Fn    string `json:"shard_fn"`
+	Chunk int    `json:"range_chunk,omitempty"`
+}
+
+// NewSharded wraps g in an in-memory sharded store at version 0,
+// scattered over k shards by the named shard function ("hash" or
+// "range"). Invalid parameters are rejected, never panicked on.
+func NewSharded(g *graph.Graph, k int, fn string) (*ShardedStore, error) {
+	if g == nil {
+		g = graph.New()
+	}
+	part, err := sparse.NewPartition(k, fn, g.NumNodes())
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	split := graph.SplitGraph(g, part)
+	shards := make([]*Store, part.K())
+	for i, sg := range split {
+		shards[i] = New(sg)
+	}
+	return assembleSharded(part, shards, 0)
+}
+
+// OpenSharded opens (creating if needed) a durable sharded store: a
+// parent directory holding the partition manifest plus one sub-store
+// per shard (shard-0000, shard-0001, ...), each a full durable Store
+// directory with its own WAL and checkpoints. On a fresh directory the
+// seed graph is scattered and the manifest written; on reopen the
+// manifest is validated against the requested k/fn (a mismatch is a
+// configuration error — ownership is pinned at creation), each shard
+// recovers independently, and any shard that crashed mid-commit behind
+// its siblings is healed forward from an ahead shard's full WAL stream.
+func OpenSharded(dir string, k int, fn string, opts ...OpenOption) (*ShardedStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var cfg openConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	seed := cfg.seed
+	if seed == nil {
+		seed = graph.New()
+	}
+	part, err := loadOrCreateManifest(dir, k, fn, seed.NumNodes())
+	if err != nil {
+		return nil, err
+	}
+	split := graph.SplitGraph(seed, part)
+	shards := make([]*Store, part.K())
+	for i := range shards {
+		shardOpts := append(append([]OpenOption(nil), opts...),
+			WithSeed(split[i]),
+			withReplayFilter(shardReplayFilter(part, i)),
+		)
+		sh, err := Open(filepath.Join(dir, fmt.Sprintf("shard-%04d", i)), shardOpts...)
+		if err != nil {
+			for _, prev := range shards[:i] {
+				prev.Close()
+			}
+			return nil, fmt.Errorf("store: shard %d: %w", i, err)
+		}
+		shards[i] = sh
+	}
+	version, err := healShards(part, shards)
+	if err != nil {
+		for _, sh := range shards {
+			if sh != nil {
+				sh.Close()
+			}
+		}
+		return nil, err
+	}
+	return assembleSharded(part, shards, version)
+}
+
+// shardReplayFilter materializes only shard-owned mutations during WAL
+// replay: node additions apply everywhere (the node table is
+// replicated); an edge mutation applies only on its source's owner.
+func shardReplayFilter(part sparse.Partition, shard int) func(Update) bool {
+	return func(u Update) bool {
+		if u.Op == OpAddNode {
+			return true
+		}
+		return part.Owner(int(u.Edge.From)) == shard
+	}
+}
+
+// loadOrCreateManifest reads and validates the partition manifest, or
+// creates it on a fresh directory (chunk fixed from the seed's node
+// count, exactly once).
+func loadOrCreateManifest(dir string, k int, fn string, seedNodes int) (sparse.Partition, error) {
+	path := filepath.Join(dir, shardingManifestName)
+	raw, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		var m shardingManifest
+		if err := json.Unmarshal(raw, &m); err != nil {
+			return sparse.Partition{}, fmt.Errorf("store: parse %s: %w", path, err)
+		}
+		if m.K != k || m.Fn != fn {
+			return sparse.Partition{}, fmt.Errorf(
+				"store: %s created with %d %q shards; reopening with %d %q would reshuffle ownership — use the original flags or a fresh directory",
+				dir, m.K, m.Fn, k, fn)
+		}
+		part, err := sparse.RestorePartition(m.K, m.Fn, m.Chunk)
+		if err != nil {
+			return sparse.Partition{}, fmt.Errorf("store: %s: %w", path, err)
+		}
+		return part, nil
+	case os.IsNotExist(err):
+		part, perr := sparse.NewPartition(k, fn, seedNodes)
+		if perr != nil {
+			return sparse.Partition{}, fmt.Errorf("store: %w", perr)
+		}
+		buf, _ := json.MarshalIndent(shardingManifest{K: part.K(), Fn: part.Fn(), Chunk: part.Chunk()}, "", "  ")
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, append(buf, '\n'), 0o644); err != nil {
+			return sparse.Partition{}, fmt.Errorf("store: write %s: %w", path, err)
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			os.Remove(tmp)
+			return sparse.Partition{}, fmt.Errorf("store: write %s: %w", path, err)
+		}
+		return part, nil
+	default:
+		return sparse.Partition{}, fmt.Errorf("store: read %s: %w", path, err)
+	}
+}
+
+// healShards reconciles shards that recovered at different versions — a
+// crash between phase-1 WAL appends leaves the shards appended earlier
+// ahead of the rest. Every shard's WAL carries the full logical stream,
+// so a lagging shard fetches the missed updates from the furthest-ahead
+// sibling's feed, appends them to its own WAL (keeping it complete) and
+// materializes the owned subset. Returns the common recovered version.
+func healShards(part sparse.Partition, shards []*Store) (uint64, error) {
+	ahead, target := 0, shards[0].Version()
+	for i, sh := range shards[1:] {
+		if v := sh.Version(); v > target {
+			ahead, target = i+1, v
+		}
+	}
+	for i, sh := range shards {
+		v := sh.Version()
+		if v == target {
+			continue
+		}
+		feed := shards[ahead].LogFeed(v, 0)
+		if feed.Gap {
+			return 0, fmt.Errorf("store: shard %d recovered at version %d, %d needed to heal to %d, but the feed has a gap (dropped through %d)",
+				i, v, target-v, target, feed.DroppedThrough)
+		}
+		var missed []Update
+		for _, u := range feed.Updates {
+			if u.Version > target {
+				break
+			}
+			missed = append(missed, u)
+		}
+		if uint64(len(missed)) != target-v {
+			return 0, fmt.Errorf("store: shard %d: feed served %d of %d updates needed to heal to %d",
+				i, len(missed), target-v, target)
+		}
+		filter := shardReplayFilter(part, i)
+		b := graph.NewBuilder(sh.current.Load().snap)
+		for _, u := range missed {
+			if !filter(u) {
+				continue
+			}
+			if err := applyUpdate(b, u); err != nil {
+				return 0, fmt.Errorf("store: heal shard %d: %w", i, err)
+			}
+		}
+		if sh.dur != nil {
+			if err := sh.dur.appendBatch(target, missed); err != nil {
+				return 0, fmt.Errorf("store: heal shard %d: %w: %w", i, ErrDurability, err)
+			}
+		}
+		next := &versioned{snap: b.Build(), version: target}
+		sh.mu.Lock()
+		sh.current.Store(next)
+		sh.log = append(sh.log, missed...)
+		sh.trimLogLocked()
+		sh.mu.Unlock()
+	}
+	return target, nil
+}
+
+// assembleSharded builds the composite published view over freshly
+// opened shards, verifying they agree on the logical version.
+func assembleSharded(part sparse.Partition, shards []*Store, version uint64) (*ShardedStore, error) {
+	snaps := make([]*graph.Snapshot, len(shards))
+	for i, sh := range shards {
+		snap, v := sh.Snapshot()
+		if v != version {
+			return nil, fmt.Errorf("store: shard %d at version %d, want %d", i, v, version)
+		}
+		snaps[i] = snap
+	}
+	ss := &ShardedStore{part: part, shards: shards, pins: make(map[uint64]int)}
+	ss.current.Store(&shardedVersioned{view: graph.NewShardedSnapshot(part, snaps), version: version})
+	return ss, nil
+}
+
+// Partition returns the store's node-space partition.
+func (ss *ShardedStore) Partition() sparse.Partition { return ss.part }
+
+// NumShards returns K.
+func (ss *ShardedStore) NumShards() int { return len(ss.shards) }
+
+// ShardStore returns shard i's underlying store for inspection (stats,
+// tests). Mutations MUST go through the coordinator's Update; writing a
+// shard directly would fork the logical version chain.
+func (ss *ShardedStore) ShardStore(i int) *Store { return ss.shards[i] }
+
+// View returns the current composite view and its logical version with
+// a single atomic load.
+func (ss *ShardedStore) View() (graph.View, uint64) {
+	cur := ss.current.Load()
+	return cur.view, cur.version
+}
+
+// Sharded returns the current composite view with its concrete type
+// (per-shard access for the evaluator's scatter path).
+func (ss *ShardedStore) Sharded() (*graph.ShardedSnapshot, uint64) {
+	cur := ss.current.Load()
+	return cur.view, cur.version
+}
+
+// Version returns the current logical version.
+func (ss *ShardedStore) Version() uint64 { return ss.current.Load().version }
+
+// Pin pins the current logical version; see Store.Pin.
+func (ss *ShardedStore) Pin() *Pin {
+	ss.mu.Lock()
+	cur := ss.current.Load()
+	ss.pins[cur.version]++
+	ss.mu.Unlock()
+	return &Pin{owner: ss, view: cur.view, version: cur.version}
+}
+
+func (ss *ShardedStore) unpin(version uint64) {
+	ss.mu.Lock()
+	if n := ss.pins[version]; n <= 1 {
+		delete(ss.pins, version)
+	} else {
+		ss.pins[version] = n - 1
+	}
+	ss.mu.Unlock()
+}
+
+// PinStats returns a point-in-time pin summary; see Store.PinStats.
+func (ss *ShardedStore) PinStats() PinStats {
+	live := ss.Version()
+	ss.mu.Lock()
+	ps := PinStats{Live: live}
+	for v, n := range ss.pins {
+		ps.Pinned = append(ps.Pinned, v)
+		ps.Readers += n
+	}
+	ss.mu.Unlock()
+	sortPinned(&ps)
+	return ps
+}
+
+// OldestPinned returns the oldest pinned logical version, or the live
+// version when nothing is pinned.
+func (ss *ShardedStore) OldestPinned() uint64 {
+	live := ss.Version()
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	oldest := live
+	for v := range ss.pins {
+		if v < oldest {
+			oldest = v
+		}
+	}
+	return oldest
+}
+
+// OnUpdate registers the committed-batch observer; see Store.OnUpdate.
+func (ss *ShardedStore) OnUpdate(fn func([]Update)) {
+	ss.writeMu.Lock()
+	defer ss.writeMu.Unlock()
+	ss.onUpdate = fn
+}
+
+// Stats returns a consistent summary of the composite view.
+func (ss *ShardedStore) Stats() Stats {
+	cur := ss.current.Load()
+	return Stats{Version: cur.version, Nodes: cur.view.NumNodes(), Edges: cur.view.NumEdges(), Labels: cur.view.Labels()}
+}
+
+// ShardStat is one shard's slice of the composite in /stats.
+type ShardStat struct {
+	Shard      int    `json:"shard"`
+	Nodes      int    `json:"nodes"`
+	Edges      int    `json:"edges"`
+	Version    uint64 `json:"version"`
+	WALRecords uint64 `json:"wal_records,omitempty"`
+	Checkpoint uint64 `json:"last_checkpoint_version,omitempty"`
+}
+
+// ShardStats reports each shard's node/edge counts and durability
+// high-water marks — the /stats "shards" section and the source for the
+// relsim_shard_* gauges.
+func (ss *ShardedStore) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(ss.shards))
+	for i, sh := range ss.shards {
+		snap, v := sh.Snapshot()
+		st := ShardStat{Shard: i, Nodes: snap.NumNodes(), Edges: snap.NumEdges(), Version: v}
+		if d := sh.dur; d != nil {
+			st.WALRecords = d.wal.Stats().Appended
+			st.Checkpoint = d.lastCheckpoint.Load()
+		}
+		out[i] = st
+	}
+	return out
+}
+
+// shardedBuilder fans a transaction out across per-shard builders: node
+// additions replicate to every shard (keeping node tables identical and
+// ids global), edge mutations route to the source's owner. Lookups are
+// answered by shard 0, whose node table is authoritative for all.
+type shardedBuilder struct {
+	part     sparse.Partition
+	builders []*graph.Builder
+}
+
+var _ txBackend = (*shardedBuilder)(nil)
+
+func (sb *shardedBuilder) Has(id graph.NodeID) bool { return sb.builders[0].Has(id) }
+func (sb *shardedBuilder) NodeByName(name string) (graph.Node, bool) {
+	return sb.builders[0].NodeByName(name)
+}
+func (sb *shardedBuilder) Base() *graph.Snapshot { return sb.builders[0].Base() }
+
+func (sb *shardedBuilder) AddNode(name, typ string) graph.NodeID {
+	id := sb.builders[0].AddNode(name, typ)
+	for _, b := range sb.builders[1:] {
+		b.AddNode(name, typ)
+	}
+	return id
+}
+
+func (sb *shardedBuilder) AddEdge(u graph.NodeID, label string, v graph.NodeID) error {
+	return sb.builders[sb.part.Owner(int(u))].AddEdge(u, label, v)
+}
+
+func (sb *shardedBuilder) RemoveEdge(u graph.NodeID, label string, v graph.NodeID) bool {
+	return sb.builders[sb.part.Owner(int(u))].RemoveEdge(u, label, v)
+}
+
+// Update runs fn as a write transaction against the composite view and
+// commits it under ONE new logical version across all shards. See the
+// type comment for the two-phase protocol and its failure modes.
+func (ss *ShardedStore) Update(fn func(tx *Tx) error) error {
+	start := time.Now()
+	ss.writeMu.Lock()
+	defer ss.writeMu.Unlock()
+	if ss.closed.Load() {
+		return fmt.Errorf("store: %w", ErrClosed)
+	}
+	if ss.poisoned.Load() {
+		return fmt.Errorf("store: %w: %w", ErrDurability, ErrPoisoned)
+	}
+	cur := ss.current.Load()
+	sb := &shardedBuilder{part: ss.part, builders: make([]*graph.Builder, len(ss.shards))}
+	for i, sh := range ss.shards {
+		sb.builders[i] = graph.NewBuilder(sh.current.Load().snap)
+	}
+	tx := &Tx{b: sb, base: cur.version}
+	if err := fn(tx); err != nil {
+		return err
+	}
+	if len(tx.updates) == 0 {
+		return nil
+	}
+	next := cur.version + uint64(len(tx.updates))
+
+	// Phase 1: the full batch becomes durable on EVERY shard before any
+	// state is published. First append failing = clean rollback (no shard
+	// has the batch). A later append failing = durable divergence: poison
+	// the store so no further version is ever built on the fork.
+	appended := 0
+	for i, sh := range ss.shards {
+		if sh.dur == nil {
+			continue
+		}
+		if err := sh.dur.appendBatch(next, tx.updates); err != nil {
+			if appended > 0 {
+				ss.poisoned.Store(true)
+				return fmt.Errorf("store: shard %d wal append after %d shards accepted: %w: %w",
+					i, appended, ErrDurability, ErrPoisoned)
+			}
+			return fmt.Errorf("store: shard %d wal append (batch rolled back): %w: %w", i, ErrDurability, err)
+		}
+		appended++
+	}
+
+	// Phase 2: publish. Per-shard snapshots first (each under its own
+	// mu, feeding its log so per-shard feeds stay contiguous), then the
+	// composite pointer under ss.mu for pin atomicity.
+	snaps := make([]*graph.Snapshot, len(ss.shards))
+	versions := make([]*versioned, len(ss.shards))
+	for i := range ss.shards {
+		snaps[i] = sb.builders[i].Build()
+		versions[i] = &versioned{snap: snaps[i], version: next}
+	}
+	nextComposite := &shardedVersioned{view: graph.NewShardedSnapshot(ss.part, snaps), version: next}
+	for i, sh := range ss.shards {
+		sh.mu.Lock()
+		sh.current.Store(versions[i])
+		sh.log = append(sh.log, tx.updates...)
+		sh.trimLogLocked()
+		sh.mu.Unlock()
+	}
+	ss.mu.Lock()
+	ss.current.Store(nextComposite)
+	ss.mu.Unlock()
+	if ss.onUpdate != nil {
+		ss.onUpdate(tx.updates)
+	}
+	ss.observeCommit(start)
+	for i, sh := range ss.shards {
+		if sh.dur != nil {
+			sh.maybeCheckpointLocked(versions[i])
+		}
+	}
+	return nil
+}
+
+func (ss *ShardedStore) observeCommit(start time.Time) {
+	if obs := ss.obs.Load(); obs != nil {
+		obs.commits.Inc()
+		obs.commitSeconds.Observe(time.Since(start).Seconds())
+	}
+	if so := ss.shardObs.Load(); so != nil {
+		so.refresh(ss)
+	}
+}
+
+// Log returns retained updates with version > since (shard 0's log —
+// every shard carries the full logical stream).
+func (ss *ShardedStore) Log(since uint64) []Update { return ss.shards[0].Log(since) }
+
+// LogFeed assembles one replication-feed page; see Store.LogFeed. The
+// page is served from shard 0, whose in-memory log and WAL both carry
+// the complete logical stream, so followers replicate from a sharded
+// leader exactly as from a monolithic one.
+func (ss *ShardedStore) LogFeed(since uint64, max int) Feed { return ss.shards[0].LogFeed(since, max) }
+
+// LogFeedContext is LogFeed honoring a deadline; see Store.LogFeedContext.
+func (ss *ShardedStore) LogFeedContext(ctx context.Context, since uint64, max int) (Feed, error) {
+	return ss.shards[0].LogFeedContext(ctx, since, max)
+}
+
+// SetLogRetention bounds every shard's in-memory update log.
+func (ss *ShardedStore) SetLogRetention(n int) {
+	for _, sh := range ss.shards {
+		sh.SetLogRetention(n)
+	}
+}
+
+// Durable reports whether the shards persist their updates.
+func (ss *ShardedStore) Durable() bool { return ss.shards[0].Durable() }
+
+// DurabilityStats aggregates the shards' durability counters: recovery
+// and checkpoint marks from the slowest shard (the store is only as
+// recovered as its laggard), WAL occupancy summed.
+func (ss *ShardedStore) DurabilityStats() DurabilityStats {
+	if !ss.Durable() {
+		return DurabilityStats{}
+	}
+	agg := ss.shards[0].DurabilityStats()
+	agg.Dir = filepath.Dir(agg.Dir)
+	for _, sh := range ss.shards[1:] {
+		st := sh.DurabilityStats()
+		agg.WAL.Appended += st.WAL.Appended
+		agg.WAL.Fsyncs += st.WAL.Fsyncs
+		agg.WAL.Segments += st.WAL.Segments
+		agg.WAL.ActiveSegmentBytes += st.WAL.ActiveSegmentBytes
+		agg.Checkpoints += st.Checkpoints
+		agg.CheckpointErrors += st.CheckpointErrors
+		if st.LastCheckpointVersion < agg.LastCheckpointVersion {
+			agg.LastCheckpointVersion = st.LastCheckpointVersion
+		}
+		if st.Recovery.RecoveredVersion < agg.Recovery.RecoveredVersion {
+			agg.Recovery = st.Recovery
+		}
+	}
+	return agg
+}
+
+// Checkpoint forces a checkpoint of every shard.
+func (ss *ShardedStore) Checkpoint() error {
+	for i, sh := range ss.shards {
+		if err := sh.Checkpoint(); err != nil {
+			return fmt.Errorf("store: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// CheckpointVersion returns the version a checkpoint transfer would
+// carry: the live version, since the composite stream is serialized
+// from the published view (shard checkpoint files hold filtered graphs
+// and are a per-shard recovery concern, not a transfer format).
+func (ss *ShardedStore) CheckpointVersion() uint64 { return ss.Version() }
+
+// CheckpointReader streams the FULL composite graph at the current
+// logical version — a follower bootstrapping from a sharded leader
+// receives the same line-oriented serialization a monolithic leader
+// would send (ShardedSnapshot.EachEdge iterates in the monolithic
+// order), then tails the (full-stream) feed.
+func (ss *ShardedStore) CheckpointReader() (io.ReadCloser, uint64, int64, error) {
+	cur := ss.current.Load()
+	var buf bytes.Buffer
+	if err := graph.WriteView(&buf, cur.view); err != nil {
+		return nil, 0, 0, fmt.Errorf("store: checkpoint stream: %w", err)
+	}
+	return io.NopCloser(bytes.NewReader(buf.Bytes())), cur.version, int64(buf.Len()), nil
+}
+
+// Reset replaces the composite state with g at version — the
+// follower-bootstrap primitive, scattered across the shards. Each shard
+// Resets onto its owned slice (checkpointing it when durable); the
+// composite publishes only after every shard succeeded. A partial
+// failure poisons the store: some shards' durable state has moved.
+func (ss *ShardedStore) Reset(g *graph.Graph, version uint64) error {
+	if g == nil {
+		g = graph.New()
+	}
+	ss.writeMu.Lock()
+	defer ss.writeMu.Unlock()
+	if ss.closed.Load() {
+		return fmt.Errorf("store: %w", ErrClosed)
+	}
+	if ss.poisoned.Load() {
+		return fmt.Errorf("store: %w: %w", ErrDurability, ErrPoisoned)
+	}
+	cur := ss.current.Load()
+	if version < cur.version {
+		return fmt.Errorf("store: reset to version %d would move backwards (live %d)", version, cur.version)
+	}
+	split := graph.SplitGraph(g, ss.part)
+	for i, sh := range ss.shards {
+		if err := sh.Reset(split[i], version); err != nil {
+			if i > 0 {
+				ss.poisoned.Store(true)
+			}
+			return fmt.Errorf("store: reset shard %d: %w", i, err)
+		}
+	}
+	snaps := make([]*graph.Snapshot, len(ss.shards))
+	for i, sh := range ss.shards {
+		snaps[i], _ = sh.Snapshot()
+	}
+	ss.mu.Lock()
+	ss.current.Store(&shardedVersioned{view: graph.NewShardedSnapshot(ss.part, snaps), version: version})
+	ss.mu.Unlock()
+	return nil
+}
+
+// Close drains in-flight commits, marks the coordinator closed and
+// closes every shard. Idempotent.
+func (ss *ShardedStore) Close() error {
+	ss.writeMu.Lock()
+	already := ss.closed.Swap(true)
+	ss.writeMu.Unlock()
+	if already {
+		return nil
+	}
+	var first error
+	for _, sh := range ss.shards {
+		if err := sh.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// AddNode adds a single node outside a batch.
+func (ss *ShardedStore) AddNode(name, typ string) graph.NodeID {
+	var id graph.NodeID
+	ss.Update(func(tx *Tx) error {
+		id = tx.AddNode(name, typ)
+		return nil
+	})
+	return id
+}
+
+// AddEdge adds a single edge outside a batch.
+func (ss *ShardedStore) AddEdge(u graph.NodeID, label string, v graph.NodeID) error {
+	return ss.Update(func(tx *Tx) error { return tx.AddEdge(u, label, v) })
+}
+
+// RemoveEdge removes a single edge outside a batch.
+func (ss *ShardedStore) RemoveEdge(u graph.NodeID, label string, v graph.NodeID) error {
+	return ss.Update(func(tx *Tx) error { return tx.RemoveEdge(u, label, v) })
+}
+
+// shardObs holds the labeled per-shard gauges Instrument refreshes on
+// every commit (and once at registration): scrape-time callbacks cannot
+// carry labels, so these are event-driven.
+type shardObs struct {
+	nodes      *telemetry.Vec
+	edges      *telemetry.Vec
+	walRecords *telemetry.Vec
+}
+
+func (so *shardObs) refresh(ss *ShardedStore) {
+	for _, st := range ss.ShardStats() {
+		label := fmt.Sprintf("%d", st.Shard)
+		so.nodes.With(label).Set(float64(st.Nodes))
+		so.edges.With(label).Set(float64(st.Edges))
+		so.walRecords.With(label).Set(float64(st.WALRecords))
+	}
+}
+
+// Instrument registers the coordinator's metrics: the relsim_store_*
+// family driven by logical commits (names and meanings identical to the
+// monolithic store, so dashboards survive the refactor), WAL metrics
+// aggregated across every shard's durability layer, and the
+// relsim_shard_* per-shard catalog. Call once, before serving.
+func (ss *ShardedStore) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	obs := &storeObs{
+		commitSeconds: reg.Histogram("relsim_store_commit_seconds",
+			"Latency of committed write transactions (WAL append + publish).",
+			commitBuckets).With(),
+		commits: reg.Counter("relsim_store_commits_total",
+			"Committed write transactions.").With(),
+		checkpointSeconds: reg.Histogram("relsim_store_checkpoint_seconds",
+			"Duration of completed graph checkpoints.", nil).With(),
+	}
+	ss.obs.Store(obs)
+	// Shard checkpoints run inside the per-shard stores; sharing the
+	// composite's observer makes their durations observable here.
+	for _, sh := range ss.shards {
+		sh.obs.Store(obs)
+	}
+
+	reg.GaugeFunc("relsim_store_version",
+		"Current published graph version.",
+		func() float64 { return float64(ss.Version()) })
+	reg.GaugeFunc("relsim_store_pinned_readers",
+		"Readers currently pinning a snapshot.",
+		func() float64 { return float64(ss.PinStats().Readers) })
+	reg.GaugeFunc("relsim_store_pin_spread_versions",
+		"Live version minus the oldest pinned version.",
+		func() float64 { return float64(ss.PinStats().Spread) })
+	reg.GaugeFunc("relsim_store_log_records",
+		"Records retained in the in-memory replication log.",
+		func() float64 {
+			sh := ss.shards[0]
+			sh.mu.Lock()
+			defer sh.mu.Unlock()
+			return float64(len(sh.log))
+		})
+
+	reg.GaugeFunc("relsim_shard_count",
+		"Number of shards the node space is partitioned into.",
+		func() float64 { return float64(len(ss.shards)) })
+	so := &shardObs{
+		nodes: reg.Gauge("relsim_shard_nodes",
+			"Nodes in the shard's replicated node table.", "shard"),
+		edges: reg.Gauge("relsim_shard_edges",
+			"Edges owned by the shard (partitioned by source).", "shard"),
+		walRecords: reg.Gauge("relsim_shard_wal_records",
+			"Records appended to the shard's WAL this process.", "shard"),
+	}
+	ss.shardObs.Store(so)
+	so.refresh(ss)
+
+	if !ss.Durable() {
+		return
+	}
+	reg.CounterFunc("relsim_store_checkpoints_total",
+		"Checkpoints written this process (all shards).",
+		func() float64 {
+			var n uint64
+			for _, sh := range ss.shards {
+				n += sh.dur.checkpoints.Load()
+			}
+			return float64(n)
+		})
+	reg.CounterFunc("relsim_store_checkpoint_errors_total",
+		"Checkpoint attempts that failed (all shards).",
+		func() float64 {
+			var n uint64
+			for _, sh := range ss.shards {
+				n += sh.dur.checkpointErrs.Load()
+			}
+			return float64(n)
+		})
+	reg.GaugeFunc("relsim_store_last_checkpoint_version",
+		"Version of the oldest shard checkpoint on disk (the recovery floor).",
+		func() float64 {
+			min := ss.shards[0].dur.lastCheckpoint.Load()
+			for _, sh := range ss.shards[1:] {
+				if v := sh.dur.lastCheckpoint.Load(); v < min {
+					min = v
+				}
+			}
+			return float64(min)
+		})
+
+	fsync := reg.Histogram("relsim_wal_fsync_seconds",
+		"Latency of WAL fsyncs.", commitBuckets).With()
+	appended := reg.Counter("relsim_wal_appended_bytes_total",
+		"Bytes appended to the WAL (headers included).").With()
+	for _, sh := range ss.shards {
+		sh.dur.wal.SetObservers(
+			func(seconds float64) { fsync.Observe(seconds) },
+			func(bytes int) { appended.Add(float64(bytes)) },
+		)
+	}
+	sum := func(get func(*Store) float64) func() float64 {
+		return func() float64 {
+			var n float64
+			for _, sh := range ss.shards {
+				n += get(sh)
+			}
+			return n
+		}
+	}
+	reg.CounterFunc("relsim_wal_records_total",
+		"Records appended to the WALs this process (all shards).",
+		sum(func(sh *Store) float64 { return float64(sh.dur.wal.Stats().Appended) }))
+	reg.CounterFunc("relsim_wal_fsyncs_total",
+		"WAL fsyncs this process (all shards).",
+		sum(func(sh *Store) float64 { return float64(sh.dur.wal.Stats().Fsyncs) }))
+	reg.GaugeFunc("relsim_wal_segments",
+		"Live WAL segment files (all shards).",
+		sum(func(sh *Store) float64 { return float64(sh.dur.wal.Stats().Segments) }))
+	reg.GaugeFunc("relsim_wal_active_segment_bytes",
+		"Bytes in the active WAL segments (all shards).",
+		sum(func(sh *Store) float64 { return float64(sh.dur.wal.Stats().ActiveSegmentBytes) }))
+}
+
+// sortPinned orders PinStats' pinned versions ascending and computes
+// the spread (shared by Store.PinStats and ShardedStore.PinStats).
+func sortPinned(ps *PinStats) {
+	for i := 1; i < len(ps.Pinned); i++ {
+		for j := i; j > 0 && ps.Pinned[j] < ps.Pinned[j-1]; j-- {
+			ps.Pinned[j], ps.Pinned[j-1] = ps.Pinned[j-1], ps.Pinned[j]
+		}
+	}
+	if len(ps.Pinned) > 0 && ps.Pinned[0] < ps.Live {
+		ps.Spread = ps.Live - ps.Pinned[0]
+	}
+}

@@ -1,0 +1,423 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"relsim/internal/graph"
+	"relsim/internal/sparse"
+)
+
+// seedShardGraph builds a deterministic small graph shared by the
+// sharded parity tests.
+func seedShardGraph(n, m int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.AddNode(fmt.Sprintf("n%d", i), "t")
+	}
+	labels := []string{"writes", "cites"}
+	for i := 0; i < m; i++ {
+		g.AddEdge(graph.NodeID(rng.Intn(n)), labels[rng.Intn(2)], graph.NodeID(rng.Intn(n)))
+	}
+	return g
+}
+
+// mutateSeq applies a deterministic sequence of commits through any
+// store implementation (monolithic or sharded coordinator).
+func mutateSeq(t *testing.T, st API, seed int64, commits int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	labels := []string{"writes", "cites", "knows"}
+	for c := 0; c < commits; c++ {
+		err := st.Update(func(tx *Tx) error {
+			v, _ := st.View()
+			n := v.NumNodes()
+			for op := 0; op < 1+rng.Intn(4); op++ {
+				switch rng.Intn(5) {
+				case 0:
+					id := tx.AddNode(fmt.Sprintf("g%d-%d", c, op), "t")
+					if err := tx.AddEdge(graph.NodeID(rng.Intn(n)), "knows", id); err != nil {
+						return err
+					}
+				case 1, 2, 3:
+					if err := tx.AddEdge(graph.NodeID(rng.Intn(n)), labels[rng.Intn(3)], graph.NodeID(rng.Intn(n))); err != nil {
+						return err
+					}
+				case 4:
+					// Removing a possibly-absent edge is a no-op.
+					_ = tx.RemoveEdge(graph.NodeID(rng.Intn(n)), labels[rng.Intn(3)], graph.NodeID(rng.Intn(n)))
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("commit %d: %v", c, err)
+		}
+	}
+}
+
+// viewBytes serializes a store's current composite view; byte equality
+// here means checkpoint/export identity across shard counts.
+func viewBytes(t *testing.T, st API) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	switch s := st.(type) {
+	case *Store:
+		snap, _ := s.Snapshot()
+		if err := graph.WriteView(&buf, snap); err != nil {
+			t.Fatal(err)
+		}
+	case *ShardedStore:
+		view, _ := s.Sharded()
+		if err := graph.WriteView(&buf, view); err != nil {
+			t.Fatal(err)
+		}
+	default:
+		t.Fatalf("unknown store type %T", st)
+	}
+	return buf.Bytes()
+}
+
+func TestShardedK1Equivalence(t *testing.T) {
+	g := seedShardGraph(30, 120, 1)
+	mono := New(g.Clone())
+	sh, err := NewSharded(g.Clone(), 1, sparse.PartitionHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+
+	mutateSeq(t, mono, 99, 25)
+	mutateSeq(t, sh, 99, 25)
+
+	if mono.Version() != sh.Version() {
+		t.Fatalf("version %d != %d", sh.Version(), mono.Version())
+	}
+	if !bytes.Equal(viewBytes(t, mono), viewBytes(t, sh)) {
+		t.Fatal("K=1 sharded store diverges from monolithic")
+	}
+	if !sh.Partition().Trivial() {
+		t.Fatal("K=1 partition should be trivial")
+	}
+}
+
+func TestShardedCommitParity(t *testing.T) {
+	for _, fn := range []string{sparse.PartitionHash, sparse.PartitionRange} {
+		for _, k := range []int{2, 4, 7} {
+			t.Run(fmt.Sprintf("%s-%d", fn, k), func(t *testing.T) {
+				g := seedShardGraph(40, 200, 2)
+				mono := New(g.Clone())
+				sh, err := NewSharded(g.Clone(), k, fn)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer sh.Close()
+
+				mutateSeq(t, mono, 7, 30)
+				mutateSeq(t, sh, 7, 30)
+
+				if mono.Version() != sh.Version() {
+					t.Fatalf("version %d != %d", sh.Version(), mono.Version())
+				}
+				if !bytes.Equal(viewBytes(t, mono), viewBytes(t, sh)) {
+					t.Fatal("sharded store state diverges from monolithic")
+				}
+
+				// Per-shard occupancy must tile the edge set exactly.
+				stats := sh.ShardStats()
+				if len(stats) != k {
+					t.Fatalf("ShardStats: %d entries, want %d", len(stats), k)
+				}
+				total := 0
+				for _, s := range stats {
+					total += s.Edges
+				}
+				view, _ := sh.View()
+				if total != view.NumEdges() {
+					t.Fatalf("shard edges sum to %d, want %d", total, view.NumEdges())
+				}
+			})
+		}
+	}
+}
+
+func TestShardedNodeGrowthOntoLastRangeShard(t *testing.T) {
+	// Nodes created after the store: range ownership clamps them onto
+	// the last shard, and a commit that both creates such a node and
+	// wires edges through it must stay byte-identical to monolithic.
+	g := seedShardGraph(12, 40, 3)
+	mono := New(g.Clone())
+	sh, err := NewSharded(g.Clone(), 3, sparse.PartitionRange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	part := sh.Partition()
+
+	var grown graph.NodeID
+	commit := func(st API) error {
+		return st.Update(func(tx *Tx) error {
+			id := tx.AddNode("grown-node", "t")
+			grown = id
+			if err := tx.AddEdge(id, "cites", 0); err != nil {
+				return err
+			}
+			return tx.AddEdge(3, "cites", id)
+		})
+	}
+	if err := commit(mono); err != nil {
+		t.Fatal(err)
+	}
+	if err := commit(sh); err != nil {
+		t.Fatal(err)
+	}
+
+	if owner := part.Owner(int(grown)); owner != 2 {
+		t.Fatalf("grown node %d owned by shard %d, want last shard 2", grown, owner)
+	}
+	if !bytes.Equal(viewBytes(t, mono), viewBytes(t, sh)) {
+		t.Fatal("growth commit diverges from monolithic")
+	}
+	// The grown node's out-edge lives on the last shard only.
+	if got := sh.ShardStore(2).Log(0); len(got) == 0 {
+		t.Fatal("last shard recorded no updates")
+	}
+	view, _ := sh.View()
+	if got := view.Out(grown, "cites"); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Out(grown) = %v, want [0]", got)
+	}
+	if got := view.In(grown, "cites"); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("In(grown) = %v, want [3]", got)
+	}
+}
+
+func TestShardedUpdateAtomicity(t *testing.T) {
+	sh, err := NewSharded(seedShardGraph(10, 30, 4), 4, sparse.PartitionHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	before := sh.Version()
+	wantErr := fmt.Errorf("abort")
+	err = sh.Update(func(tx *Tx) error {
+		tx.AddNode("doomed", "t")
+		return wantErr
+	})
+	if err == nil || !strings.Contains(err.Error(), "abort") {
+		t.Fatalf("Update error = %v, want abort", err)
+	}
+	if sh.Version() != before {
+		t.Fatalf("aborted commit advanced version %d -> %d", before, sh.Version())
+	}
+	for i := 0; i < sh.NumShards(); i++ {
+		if v := sh.ShardStore(i).Version(); v != before {
+			t.Fatalf("shard %d at version %d after abort, want %d", i, v, before)
+		}
+	}
+	view, _ := sh.View()
+	if _, ok := view.NodeByName("doomed"); ok {
+		t.Fatal("aborted node visible in composite view")
+	}
+}
+
+func TestOpenShardedReopen(t *testing.T) {
+	dir := t.TempDir()
+	sh, err := OpenSharded(dir, 4, sparse.PartitionHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutateSeqDurable(t, sh, 5, 10)
+	wantVersion := sh.Version()
+	wantBytes := viewBytes(t, sh)
+	if err := sh.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sh2, err := OpenSharded(dir, 4, sparse.PartitionHash)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer sh2.Close()
+	if sh2.Version() != wantVersion {
+		t.Fatalf("reopened version %d, want %d", sh2.Version(), wantVersion)
+	}
+	if !bytes.Equal(viewBytes(t, sh2), wantBytes) {
+		t.Fatal("reopened state diverges")
+	}
+
+	// Reopening with a different shard layout must refuse, not reshuffle.
+	if _, err := OpenSharded(dir, 8, sparse.PartitionHash); err == nil {
+		t.Fatal("reopen with different K: want error, got nil")
+	} else if !strings.Contains(err.Error(), "reshuffle") {
+		t.Fatalf("mismatch error should explain the reshuffle hazard, got: %v", err)
+	}
+	if _, err := OpenSharded(dir, 4, sparse.PartitionRange); err == nil {
+		t.Fatal("reopen with different fn: want error, got nil")
+	}
+}
+
+// mutateSeqDurable is mutateSeq but keeps every commit to a single
+// logical update so WAL batches align one-to-one with versions (what
+// the heal test truncates against).
+func mutateSeqDurable(t *testing.T, st API, seed int64, commits int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for c := 0; c < commits; c++ {
+		err := st.Update(func(tx *Tx) error {
+			if c == 0 {
+				tx.AddNode("seed-a", "t")
+				return nil
+			}
+			v, _ := st.View()
+			n := v.NumNodes()
+			if rng.Intn(3) == 0 {
+				tx.AddNode(fmt.Sprintf("d%d", c), "t")
+				return nil
+			}
+			return tx.AddEdge(graph.NodeID(rng.Intn(n)), "cites", graph.NodeID(rng.Intn(n)))
+		})
+		if err != nil {
+			t.Fatalf("commit %d: %v", c, err)
+		}
+	}
+}
+
+func TestOpenShardedHealForward(t *testing.T) {
+	dir := t.TempDir()
+	sh, err := OpenSharded(dir, 2, sparse.PartitionHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutateSeqDurable(t, sh, 11, 12)
+	wantVersion := sh.Version()
+	wantBytes := viewBytes(t, sh)
+	if err := sh.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash asymmetry: tear the tail of shard 1's WAL so it recovers a
+	// few versions behind shard 0.
+	segs := walFiles(t, filepath.Join(dir, "shard-0001"))
+	if len(segs) == 0 {
+		t.Fatal("no WAL segments for shard 1")
+	}
+	last := segs[len(segs)-1]
+	info, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(last, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	sh2, err := OpenSharded(dir, 2, sparse.PartitionHash)
+	if err != nil {
+		t.Fatalf("heal-forward reopen: %v", err)
+	}
+	defer sh2.Close()
+	if sh2.Version() != wantVersion {
+		t.Fatalf("healed version %d, want %d", sh2.Version(), wantVersion)
+	}
+	for i := 0; i < 2; i++ {
+		if v := sh2.ShardStore(i).Version(); v != wantVersion {
+			t.Fatalf("shard %d healed to %d, want %d", i, v, wantVersion)
+		}
+	}
+	if !bytes.Equal(viewBytes(t, sh2), wantBytes) {
+		t.Fatal("healed state diverges from pre-crash state")
+	}
+}
+
+func TestShardedCheckpointReader(t *testing.T) {
+	dir := t.TempDir()
+	sh, err := OpenSharded(dir, 3, sparse.PartitionRange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	mutateSeqDurable(t, sh, 13, 8)
+
+	rc, version, size, err := sh.CheckpointReader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != sh.Version() {
+		t.Fatalf("checkpoint version %d, want %d", version, sh.Version())
+	}
+	if int64(len(got)) != size {
+		t.Fatalf("checkpoint size %d, want %d", len(got), size)
+	}
+	// The streamed checkpoint is the composite view, byte-identical to
+	// what a monolithic store at the same state would serialize.
+	if want := viewBytes(t, sh); !bytes.Equal(got, want) {
+		t.Fatal("sharded checkpoint bytes diverge from composite view serialization")
+	}
+}
+
+func TestShardedLogStream(t *testing.T) {
+	sh, err := NewSharded(seedShardGraph(10, 20, 6), 4, sparse.PartitionHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	mutateSeq(t, sh, 17, 10)
+
+	// The coordinator serves the FULL logical stream (from shard 0,
+	// which records every update regardless of edge ownership).
+	updates := sh.Log(0)
+	if uint64(len(updates)) == 0 {
+		t.Fatal("empty log stream")
+	}
+	if last := updates[len(updates)-1].Version; last != sh.Version() {
+		t.Fatalf("log tail at version %d, want %d", last, sh.Version())
+	}
+	for i := 1; i < len(updates); i++ {
+		if updates[i].Version != updates[i-1].Version+1 {
+			t.Fatalf("log gap between %d and %d", updates[i-1].Version, updates[i].Version)
+		}
+	}
+	feed := sh.LogFeed(0, 0)
+	if feed.Gap {
+		t.Fatal("unexpected feed gap")
+	}
+	if len(feed.Updates) != len(updates) {
+		t.Fatalf("feed served %d updates, Log served %d", len(feed.Updates), len(updates))
+	}
+}
+
+func TestShardedPinStability(t *testing.T) {
+	sh, err := NewSharded(seedShardGraph(15, 50, 8), 2, sparse.PartitionHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	pin := sh.Pin()
+	defer pin.Release()
+	v0 := pin.Version()
+	view := pin.View()
+	edges0 := view.NumEdges()
+
+	mutateSeq(t, sh, 21, 5)
+
+	if pin.Version() != v0 {
+		t.Fatalf("pinned version moved %d -> %d", v0, pin.Version())
+	}
+	if view.NumEdges() != edges0 {
+		t.Fatal("pinned view observed later commits")
+	}
+	if sh.OldestPinned() != v0 {
+		t.Fatalf("OldestPinned = %d, want %d", sh.OldestPinned(), v0)
+	}
+}
